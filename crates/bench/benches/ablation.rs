@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! PDN ladder depth, the post-stall surge model, and the resonance
+//! placement of the branch microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsmooth::chip::{Chip, ChipConfig, Fidelity};
+use vsmooth::pdn::{DecapConfig, LadderConfig, LadderStage};
+use vsmooth::uarch::{Microbenchmark, StallEvent, StimulusSource};
+use vsmooth::workload::by_name;
+
+fn ladder_depth(c: &mut Criterion) {
+    // How much does ladder depth matter to the impedance picture?
+    let full = LadderConfig::core2_duo(DecapConfig::proc100());
+    let one_stage = LadderConfig::new(
+        "1-stage",
+        vec![LadderStage {
+            series_r: 1.9e-3,
+            series_l: 2.6e-9,
+            shunt_c: 500e-9,
+            shunt_esr: 0.5e-3,
+        }],
+        1.325,
+    )
+    .expect("valid ladder");
+    for (name, cfg) in [("4-stage", &full), ("1-stage", &one_stage)] {
+        let z = vsmooth::pdn::ImpedanceProfile::compute(cfg, 1e5, 1e9, 120).expect("profile");
+        println!(
+            "ablation ladder {name}: peak {:.2} mOhm at {:.0} MHz",
+            z.peak().impedance_ohms * 1e3,
+            z.peak().frequency_hz / 1e6
+        );
+    }
+    c.bench_function("ablation_ladder_impedance", |b| {
+        b.iter(|| vsmooth::pdn::ImpedanceProfile::compute(&full, 1e5, 1e9, 120).expect("profile"))
+    });
+}
+
+fn resonance_placement(c: &mut Criterion) {
+    // Moving the BR loop off the package resonance should shrink its
+    // swing: the resonance story of Fig. 12.
+    let chip_cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+    let mut swings = Vec::new();
+    for (label, source) in [
+        ("BR@resonance", Microbenchmark::new(StallEvent::BranchMispredict, 1)),
+        ("L1@34cyc", Microbenchmark::new(StallEvent::L1Miss, 1)),
+    ] {
+        let mut chip = Chip::new(chip_cfg.clone()).expect("chip");
+        let mut m = source;
+        let mut idle = vsmooth::uarch::IdleLoop::default();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut m, &mut idle];
+        let stats = chip.run(&mut sources, 100_000, 100_000).expect("run");
+        println!("ablation resonance {label}: p2p {:.2}%", stats.peak_to_peak_pct());
+        swings.push(stats.peak_to_peak_pct());
+    }
+    c.bench_function("ablation_resonance_probe", |b| {
+        b.iter(|| {
+            let mut chip = Chip::new(chip_cfg.clone()).expect("chip");
+            let mut m = Microbenchmark::new(StallEvent::BranchMispredict, 1);
+            let mut idle = vsmooth::uarch::IdleLoop::default();
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut m, &mut idle];
+            chip.run(&mut sources, 20_000, 20_000).expect("run")
+        })
+    });
+}
+
+fn workload_simulation_rate(c: &mut Criterion) {
+    // Raw simulation throughput: cycles per second for a pair run.
+    let chip_cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+    let a = by_name("473.astar").expect("astar");
+    let b = by_name("429.mcf").expect("mcf");
+    c.bench_function("ablation_pair_run_100k_cycles", |bch| {
+        bch.iter(|| {
+            vsmooth::chip::run_pair(&chip_cfg, &a, &b, Fidelity::Custom(5_000)).expect("pair")
+        })
+    });
+}
+
+fn split_vs_connected_supplies(c: &mut Criterion) {
+    // Footnote 3: split per-core rails swing harder than the shared one.
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+    for event in [StallEvent::BranchMispredict, StallEvent::Exception] {
+        let cmp = vsmooth::chip::split_vs_connected(&cfg, event, 120_000).expect("comparison");
+        println!(
+            "ablation supply {event}: connected {:.2}%  split {:.2}%  penalty {:.2}x",
+            cmp.connected_swing_pct,
+            cmp.split_swing_pct,
+            cmp.split_penalty()
+        );
+    }
+    c.bench_function("ablation_split_supply", |b| {
+        b.iter(|| {
+            vsmooth::chip::split_vs_connected(&cfg, StallEvent::BranchMispredict, 30_000)
+                .expect("comparison")
+        })
+    });
+}
+
+fn live_recovery_vs_analytic_model(c: &mut Criterion) {
+    // The paper models recovery analytically; the live rollback
+    // simulation validates it (and measures the same overhead).
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc3());
+    let w = by_name("482.sphinx3").expect("sphinx3");
+    let run_live = |margin: f64, cost: u64| {
+        let mut chip = Chip::new(cfg.clone()).expect("chip");
+        let mut s = w.stream(0, 10_000);
+        let mut idle = vsmooth::uarch::IdleLoop::default();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        chip.run_resilient(&mut sources, 200_000, 200_000, margin, cost).expect("run")
+    };
+    for (margin, cost) in [(4.5, 100u64), (4.5, 1_000), (6.0, 10_000)] {
+        let r = run_live(margin, cost);
+        println!(
+            "ablation recovery margin -{margin}% cost {cost}: {} emergencies, {:.1}% overhead, net {:+.1}%",
+            r.emergencies,
+            100.0 * r.recovery_overhead(),
+            100.0 * r.net_improvement(14.0, 1.5)
+        );
+    }
+    c.bench_function("ablation_live_recovery", |b| b.iter(|| run_live(4.5, 1_000)));
+}
+
+criterion_group!(
+    benches,
+    ladder_depth,
+    resonance_placement,
+    workload_simulation_rate,
+    split_vs_connected_supplies,
+    live_recovery_vs_analytic_model
+);
+criterion_main!(benches);

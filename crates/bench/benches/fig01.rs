@@ -1,0 +1,16 @@
+//! Regenerates Fig. 1 (projected voltage swings across technology
+//! nodes) and times the package-response simulation behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    let rows = lab.fig01().expect("fig01");
+    println!("{}", vsmooth::report::fig01(&rows));
+    c.bench_function("fig01_tech_scaling", |b| {
+        b.iter(|| vsmooth::pdn::node_swing_projection().expect("projection"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 2 (peak frequency vs. operating margin) and times
+//! the ring-oscillator sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig02(&lab.fig02()));
+    c.bench_function("fig02_margin_frequency", |b| {
+        b.iter(vsmooth::pdn::margin_frequency_sweep)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

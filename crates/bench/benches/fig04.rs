@@ -1,0 +1,17 @@
+//! Regenerates Fig. 4 (impedance profile, analytic + software-loop
+//! empirical) and times the analytic profile computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsmooth::pdn::{DecapConfig, ImpedanceProfile, LadderConfig};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig04(&lab.fig04().expect("fig04")));
+    let cfg = LadderConfig::core2_duo(DecapConfig::proc100());
+    c.bench_function("fig04_impedance_profile", |b| {
+        b.iter(|| ImpedanceProfile::compute(&cfg, 1e5, 1e9, 120).expect("profile"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 5m-r (reset waveforms per decap configuration) and
+//! times one reset-response simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsmooth::pdn::{reset_response, DecapConfig};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    println!("Fig. 5m-r — reset-response waveforms");
+    for (decap, wave) in lab.fig05(48).expect("fig05") {
+        let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = wave.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!("  {decap:<8} min {min:.3} V  max {max:.3} V");
+    }
+    c.bench_function("fig05_reset_response", |b| {
+        b.iter(|| reset_response(DecapConfig::proc25()).expect("reset"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 6 (relative peak-to-peak swing across the decap
+//! sweep) and times the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig06(&lab.fig06().expect("fig06")));
+    c.bench_function("fig06_decap_swings", |b| {
+        b.iter(|| vsmooth::pdn::decap_swing_sweep().expect("sweep"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 7 (cumulative voltage-sample distribution, Proc100) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    let d = lab.fig07().expect("fig07");
+    println!("Fig. 7 — {}", vsmooth::report::sample_distribution(&d));
+    c.bench_function("fig07_sample_cdf", |b| {
+        b.iter(|| lab.fig07().expect("fig07"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

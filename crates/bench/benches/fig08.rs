@@ -1,0 +1,16 @@
+//! Regenerates Fig. 8 (typical-case improvement vs. margin, Proc100) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    let sweeps = lab.fig08().expect("fig08");
+    println!("{}", vsmooth::report::fig08(&sweeps));
+    c.bench_function("fig08_margin_sweeps", |b| {
+        b.iter(|| lab.fig08().expect("fig08"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 9 (future-node sample distributions, Proc25/Proc3) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    for d in lab.fig09().expect("fig09") {
+        println!("Fig. 9 — {}", vsmooth::report::sample_distribution(&d));
+    }
+    c.bench_function("fig09_future_cdf", |b| {
+        b.iter(|| lab.fig09().expect("fig09"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

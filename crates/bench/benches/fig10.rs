@@ -1,0 +1,16 @@
+//! Regenerates Fig. 10 (improvement heatmaps per processor) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    let maps = lab.fig10().expect("fig10");
+    println!("{}", vsmooth::report::fig10(&maps));
+    c.bench_function("fig10_heatmaps", |b| {
+        b.iter(|| lab.fig10().expect("fig10"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

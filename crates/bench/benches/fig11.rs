@@ -1,0 +1,23 @@
+//! Regenerates Fig. 11 (the TLB-miss oscilloscope trace) and times the
+//! traced chip run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    let trace = lab.fig11(20_000).expect("fig11");
+    let (lo, hi) = trace
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    println!(
+        "Fig. 11 — TLB trace: {} samples, p2p {:.1} mV (VRM sawtooth + overshoot spikes)",
+        trace.len(),
+        (hi - lo) * 1e3
+    );
+    c.bench_function("fig11_tlb_trace", |b| {
+        b.iter(|| lab.fig11(20_000).expect("fig11"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

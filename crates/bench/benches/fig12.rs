@@ -1,0 +1,19 @@
+//! Regenerates Fig. 12 (single-core event swings relative to idle) and
+//! times one microbenchmark probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    println!("Fig. 12 — effect of microarchitectural events on supply voltage");
+    for s in lab.fig12().expect("fig12") {
+        println!("  {:>4}: {:.2}x idle", s.event, s.relative_swing);
+    }
+    let chip = vsmooth::chip::ChipConfig::core2_duo(vsmooth::pdn::DecapConfig::proc100());
+    c.bench_function("fig12_event_swings", |b| {
+        b.iter(|| vsmooth::chip::idle_swing_pct(&chip).expect("idle probe"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 13 (cross-core event interference matrix) and
+//! times a single pair probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsmooth::uarch::StallEvent;
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    let m = lab.fig13().expect("fig13");
+    println!("Fig. 13 — interference matrix (relative to idling OS)");
+    for (i, e) in StallEvent::ALL.iter().enumerate() {
+        let row: Vec<String> = m.matrix[i].iter().map(|v| format!("{v:.2}")).collect();
+        println!("  {:>4}: {}", e.label(), row.join(" "));
+    }
+    let (e0, e1, max) = m.max();
+    println!("  max {e0}/{e1} = {max:.2} (paper: EXCP/EXCP = 2.42)");
+    let chip = vsmooth::chip::ChipConfig::core2_duo(vsmooth::pdn::DecapConfig::proc100());
+    c.bench_function("fig13_idle_baseline", |b| {
+        b.iter(|| vsmooth::chip::idle_swing_pct(&chip).expect("idle probe"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 14 (voltage-noise phase timelines) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig14(&lab.fig14().expect("fig14")));
+    c.bench_function("fig14_noise_phases", |b| {
+        b.iter(|| lab.fig14().expect("fig14"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 15 (droops vs. stall ratio, correlation) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig15(&lab.fig15().expect("fig15")));
+    c.bench_function("fig15_stall_correlation", |b| {
+        b.iter(|| lab.fig15().expect("fig15"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 16 (the astar x astar sliding-window experiment)
+//! and times it end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig16(&lab.fig16().expect("fig16")));
+    c.bench_function("fig16_sliding_window", |b| {
+        b.iter(|| lab.fig16().expect("fig16"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 17 (droop variance across co-schedules) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig17(&lab.fig17().expect("fig17")));
+    c.bench_function("fig17_droop_variance", |b| {
+        b.iter(|| lab.fig17().expect("fig17"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

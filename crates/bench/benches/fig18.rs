@@ -1,0 +1,15 @@
+//! Regenerates Fig. 18 (batch-schedule policy scatter) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig18(&lab.fig18().expect("fig18")));
+    c.bench_function("fig18_policy_scatter", |b| {
+        b.iter(|| lab.fig18().expect("fig18"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

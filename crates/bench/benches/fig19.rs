@@ -1,0 +1,15 @@
+//! Regenerates Fig. 19 (passing schedules vs. recovery cost) and times the post-campaign analysis kernel
+//! (the campaign itself is measured once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = vsmooth_bench::lab();
+    println!("{}", vsmooth::report::fig19(&lab.fig19().expect("fig19")));
+    c.bench_function("fig19_pass_improvement", |b| {
+        b.iter(|| lab.fig19().expect("fig19"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates every figure and table of the paper in one run, sharing
+//! the expensive campaigns across experiments.
+//!
+//! ```text
+//! cargo run -p vsmooth-bench --bin repro --release            # default scale
+//! VSMOOTH_BENCH=full cargo run -p vsmooth-bench --bin repro --release
+//! ```
+
+use vsmooth::report;
+use vsmooth::VsmoothError;
+
+fn main() -> Result<(), VsmoothError> {
+    let mut lab = vsmooth_bench::lab();
+    println!(
+        "vsmooth reproduction — fidelity {:?}, {} benchmarks, {} threads\n",
+        lab.config().fidelity,
+        lab.benchmark_names().len(),
+        lab.config().threads
+    );
+
+    println!("{}", report::fig01(&lab.fig01()?));
+    println!("{}", report::fig02(&lab.fig02()));
+    println!("{}", report::fig04(&lab.fig04()?));
+
+    println!("Fig. 5m-r — reset waveforms (min voltage per configuration)");
+    for (decap, wave) in lab.fig05(64)? {
+        let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("  {decap:<8} min {min:.3} V");
+    }
+    println!();
+
+    println!("{}", report::fig06(&lab.fig06()?));
+
+    let trace = lab.fig11(4_000)?;
+    let (lo, hi) = trace
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    println!("Fig. 11 — TLB microbenchmark trace: {} samples, {:.1} mV p2p\n", trace.len(), (hi - lo) * 1e3);
+
+    println!("Fig. 12 — single-core event swings (relative to idling OS)");
+    for s in lab.fig12()? {
+        println!("  {:>4}: {:.2}x", s.event, s.relative_swing);
+    }
+    println!();
+
+    let m = lab.fig13()?;
+    println!("Fig. 13 — interference matrix (rows core0 L1..EXCP, cols core1)");
+    for (i, e) in vsmooth::uarch::StallEvent::ALL.iter().enumerate() {
+        let row: Vec<String> = m.matrix[i].iter().map(|v| format!("{v:.2}")).collect();
+        println!("  {:>4}: {}", e.label(), row.join(" "));
+    }
+    let (e0, e1, max) = m.max();
+    println!("  max {e0}/{e1} = {max:.2} (paper: EXCP/EXCP = 2.42)\n");
+
+    println!("Fig. 7 — {}", report::sample_distribution(&lab.fig07()?));
+    println!("{}", report::fig08(&lab.fig08()?));
+    for d in lab.fig09()? {
+        println!("Fig. 9 — {}", report::sample_distribution(&d));
+    }
+    println!("{}", report::fig10(&lab.fig10()?));
+    println!("{}", report::fig14(&lab.fig14()?));
+    println!("{}", report::fig15(&lab.fig15()?));
+    println!("{}", report::fig16(&lab.fig16()?));
+    println!("{}", report::fig17(&lab.fig17()?));
+    println!("{}", report::fig18(&lab.fig18()?));
+    println!("{}", report::fig19(&lab.fig19()?));
+    println!("{}", report::tab01(&lab.tab01()?));
+
+    Ok(())
+}

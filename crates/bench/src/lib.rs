@@ -1,0 +1,33 @@
+//! Shared configuration for the benchmark harness.
+//!
+//! Every Criterion bench target regenerates one figure or table of the
+//! paper (printing the reproduced rows/series) and then times the
+//! underlying analysis kernel. The experiment scale is controlled by
+//! `VSMOOTH_BENCH` (`quick` | `bench` | `full`), defaulting to a
+//! reduced-but-faithful configuration so `cargo bench` completes in
+//! minutes.
+
+use vsmooth::chip::Fidelity;
+use vsmooth::experiments::{ExperimentConfig, Lab};
+
+/// The experiment configuration selected by `VSMOOTH_BENCH`.
+pub fn config() -> ExperimentConfig {
+    match std::env::var("VSMOOTH_BENCH").ok().as_deref() {
+        Some("full") => ExperimentConfig {
+            fidelity: Fidelity::Custom(120_000),
+            ..ExperimentConfig::bench()
+        },
+        Some("bench") => ExperimentConfig::bench(),
+        Some("quick") => ExperimentConfig::quick(),
+        _ => ExperimentConfig {
+            fidelity: Fidelity::Custom(10_000),
+            benchmarks: Some(10),
+            ..ExperimentConfig::bench()
+        },
+    }
+}
+
+/// A fresh lab at the configured scale.
+pub fn lab() -> Lab {
+    Lab::new(config())
+}

@@ -1,0 +1,70 @@
+//! Simulation fidelity presets.
+//!
+//! The paper's measurement interval is 60 wall-clock seconds (~10¹¹
+//! cycles) — far beyond what a cycle-level simulation should spend per
+//! interval. One interval maps to a configurable number of simulated
+//! cycles; the statistics of interest (droop rates, stall ratios,
+//! sample distributions) converge well below a million cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// How many cycles to simulate per measurement interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Fast unit-test fidelity (20 k cycles/interval).
+    Test,
+    /// Benchmark-harness fidelity (120 k cycles/interval) — the default
+    /// for regenerating the paper's figures.
+    Bench,
+    /// High fidelity (1 M cycles/interval) for final numbers.
+    Full,
+    /// Explicit cycle count per interval.
+    Custom(u64),
+}
+
+impl Fidelity {
+    /// Simulated cycles per measurement interval.
+    pub fn cycles_per_interval(self) -> u64 {
+        match self {
+            Self::Test => 20_000,
+            Self::Bench => 120_000,
+            Self::Full => 1_000_000,
+            Self::Custom(n) => n.max(1),
+        }
+    }
+
+    /// Reads `VSMOOTH_FIDELITY` (`test` / `bench` / `full` / a number),
+    /// defaulting to `default` when unset or unparsable.
+    pub fn from_env(default: Fidelity) -> Fidelity {
+        match std::env::var("VSMOOTH_FIDELITY").ok().as_deref() {
+            Some("test") => Self::Test,
+            Some("bench") => Self::Bench,
+            Some("full") => Self::Full,
+            Some(other) => other.parse::<u64>().map(Self::Custom).unwrap_or(default),
+            None => default,
+        }
+    }
+}
+
+impl Default for Fidelity {
+    fn default() -> Self {
+        Self::Bench
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Fidelity::Test.cycles_per_interval() < Fidelity::Bench.cycles_per_interval());
+        assert!(Fidelity::Bench.cycles_per_interval() < Fidelity::Full.cycles_per_interval());
+    }
+
+    #[test]
+    fn custom_is_clamped_to_one() {
+        assert_eq!(Fidelity::Custom(0).cycles_per_interval(), 1);
+        assert_eq!(Fidelity::Custom(777).cycles_per_interval(), 777);
+    }
+}

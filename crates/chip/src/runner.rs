@@ -1,0 +1,148 @@
+//! Workload runners: the building blocks for single-threaded,
+//! multi-threaded and multi-program (pair) measurements.
+
+use crate::chip::{Chip, ChipConfig};
+use crate::fidelity::Fidelity;
+use crate::stats::RunStats;
+use crate::ChipError;
+use vsmooth_uarch::{IdleLoop, StimulusSource};
+use vsmooth_workload::{Threading, Workload};
+
+/// Runs one workload to completion on the chip.
+///
+/// Single-threaded workloads occupy core 0 while the other cores idle;
+/// multi-threaded workloads put one stream instance on every core.
+///
+/// # Errors
+///
+/// Propagates chip construction/run errors.
+pub fn run_workload(
+    cfg: &ChipConfig,
+    workload: &Workload,
+    fidelity: Fidelity,
+) -> Result<RunStats, ChipError> {
+    let cpi = fidelity.cycles_per_interval();
+    let total = u64::from(workload.total_intervals()) * cpi;
+    let mut chip = Chip::new(cfg.clone())?;
+    match workload.threading() {
+        Threading::Single => {
+            let mut stream = workload.stream(0, cpi);
+            let mut idles: Vec<IdleLoop> = (1..cfg.num_cores).map(|_| IdleLoop::default()).collect();
+            let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(cfg.num_cores);
+            sources.push(&mut stream);
+            sources.extend(idles.iter_mut().map(|i| i as &mut dyn StimulusSource));
+            chip.run(&mut sources, total, cpi)
+        }
+        Threading::Multi => {
+            let mut streams: Vec<_> =
+                (0..cfg.num_cores as u64).map(|i| workload.stream(i, cpi)).collect();
+            let mut sources: Vec<&mut dyn StimulusSource> =
+                streams.iter_mut().map(|s| s as &mut dyn StimulusSource).collect();
+            chip.run(&mut sources, total, cpi)
+        }
+    }
+}
+
+/// Runs a multi-program pair `(a, b)` with `a` on core 0 and `b` on
+/// core 1 until the longer program finishes; the shorter restarts as
+/// needed so both cores stay busy (the SPECrate-style methodology of
+/// the paper's 29 × 29 sweep).
+///
+/// # Errors
+///
+/// Returns [`ChipError::InvalidConfig`] unless the chip has exactly two
+/// cores, plus any chip run error.
+pub fn run_pair(
+    cfg: &ChipConfig,
+    a: &Workload,
+    b: &Workload,
+    fidelity: Fidelity,
+) -> Result<RunStats, ChipError> {
+    if cfg.num_cores != 2 {
+        return Err(ChipError::InvalidConfig("pair runs require a two-core chip"));
+    }
+    let cpi = fidelity.cycles_per_interval();
+    let intervals = workload_pair_intervals(a, b);
+    let total = u64::from(intervals) * cpi;
+    let mut chip = Chip::new(cfg.clone())?;
+    // Distinct instances so two copies of the same program do not
+    // phase-lock (the paper's SPECrate runs are separate processes).
+    let mut sa = a.stream(0, cpi);
+    let mut sb = b.stream(1, cpi);
+    sa.set_looping(true);
+    sb.set_looping(true);
+    let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut sa, &mut sb];
+    chip.run(&mut sources, total, cpi)
+}
+
+/// Duration (in intervals) of a pair run: the longer program's length.
+pub fn workload_pair_intervals(a: &Workload, b: &Workload) -> u32 {
+    a.total_intervals().max(b.total_intervals())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmooth_pdn::DecapConfig;
+    use vsmooth_workload::by_name;
+
+    fn cfg() -> ChipConfig {
+        ChipConfig::core2_duo(DecapConfig::proc100())
+    }
+
+    #[test]
+    fn single_threaded_run_completes() {
+        let w = by_name("456.hmmer").unwrap();
+        let stats = run_workload(&cfg(), &w, Fidelity::Custom(2_000)).unwrap();
+        assert_eq!(stats.droops_per_interval.len() as u32, w.total_intervals());
+        assert!(stats.ipc() > 0.0);
+        // Core 1 idles: only OS background bursts commit there.
+        assert!(
+            stats.core_counters[1].instructions() < 0.05 * stats.core_counters[0].instructions(),
+            "idle core committed {} vs busy {}",
+            stats.core_counters[1].instructions(),
+            stats.core_counters[0].instructions()
+        );
+    }
+
+    #[test]
+    fn multithreaded_run_uses_both_cores() {
+        let w = by_name("canneal").unwrap();
+        let stats = run_workload(&cfg(), &w, Fidelity::Custom(2_000)).unwrap();
+        assert!(stats.core_counters[0].instructions() > 0.0);
+        assert!(stats.core_counters[1].instructions() > 0.0);
+    }
+
+    #[test]
+    fn pair_run_lasts_as_long_as_the_longer_program() {
+        let a = by_name("473.astar").unwrap(); // 9 intervals
+        let b = by_name("429.mcf").unwrap(); // 22 intervals
+        let stats = run_pair(&cfg(), &a, &b, Fidelity::Custom(1_000)).unwrap();
+        assert_eq!(stats.droops_per_interval.len() as u32, 22);
+        assert!(stats.core_counters[0].instructions() > 0.0);
+        assert!(stats.core_counters[1].instructions() > 0.0);
+    }
+
+    #[test]
+    fn noisy_workload_droops_more_than_quiet_one() {
+        let quiet = by_name("453.povray").unwrap();
+        let noisy = by_name("482.sphinx3").unwrap();
+        let f = Fidelity::Custom(4_000);
+        let q = run_workload(&cfg(), &quiet, f).unwrap();
+        let n = run_workload(&cfg(), &noisy, f).unwrap();
+        assert!(
+            n.droops_per_kilocycle(2.3) > q.droops_per_kilocycle(2.3),
+            "sphinx {:.1} vs povray {:.1} droops/kcycle",
+            n.droops_per_kilocycle(2.3),
+            q.droops_per_kilocycle(2.3)
+        );
+    }
+
+    #[test]
+    fn pair_run_requires_two_cores() {
+        let mut c = cfg();
+        c.num_cores = 1;
+        let a = by_name("473.astar").unwrap();
+        assert!(run_pair(&c, &a, &a, Fidelity::Test).is_err());
+    }
+}

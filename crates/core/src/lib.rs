@@ -1,0 +1,140 @@
+//! # vsmooth — *Voltage Smoothing* (MICRO 2010) in Rust
+//!
+//! A full reproduction of *"Voltage Smoothing: Characterizing and
+//! Mitigating Voltage Noise in Production Processors via
+//! Software-Guided Thread Scheduling"* (Reddi, Kanev, Kim, Campanoni,
+//! Smith, Wei, Brooks — MICRO 2010), built on simulated substrates that
+//! replace the paper's physical Core 2 Duo testbed (see `DESIGN.md`).
+//!
+//! The workspace layers, re-exported here:
+//!
+//! * [`pdn`] — the RLC power-delivery network, impedance profiles,
+//!   decap-removal extrapolation, technology-node projection.
+//! * [`uarch`] — per-cycle core activity/current model, stall events,
+//!   performance counters, microbenchmarks.
+//! * [`workload`] — the synthetic SPEC CPU2006 / PARSEC catalog with
+//!   phase-structured stall-event mixes.
+//! * [`chip`] — multi-core chip on a shared supply with per-cycle
+//!   voltage sensing and droop detection.
+//! * [`resilience`] — the typical-case design performance model and the
+//!   881-run measurement campaign.
+//! * [`sched`] — the noise-aware thread scheduler: Droop / IPC /
+//!   IPC-over-Droopⁿ policies, batch scheduling, sliding windows,
+//!   pass-rate analysis, and a counter-driven online scheduler.
+//! * [`experiments`] — one runner per paper figure/table, and
+//!   [`report`] — plain-text rendering of each result.
+//!
+//! # Quick start
+//!
+//! ```
+//! use vsmooth::experiments::{ExperimentConfig, Lab};
+//!
+//! // Microbenchmark characterization (Fig. 12): which stall event
+//! // swings the supply hardest?
+//! let lab = Lab::new(ExperimentConfig::quick());
+//! let swings = lab.fig12()?;
+//! let br = swings
+//!     .iter()
+//!     .find(|s| s.event == vsmooth::uarch::StallEvent::BranchMispredict)
+//!     .expect("BR measured");
+//! assert!(br.relative_swing > 1.0);
+//! # Ok::<(), vsmooth::VsmoothError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// The power-delivery-network substrate.
+pub use vsmooth_pdn as pdn;
+/// The microarchitecture substrate.
+pub use vsmooth_uarch as uarch;
+/// The workload catalog.
+pub use vsmooth_workload as workload;
+/// The multi-core chip model.
+pub use vsmooth_chip as chip;
+/// Typical-case design analysis and the measurement campaign.
+pub use vsmooth_resilience as resilience;
+/// The noise-aware thread scheduler.
+pub use vsmooth_sched as sched;
+/// Statistics helpers.
+pub use vsmooth_stats as stats;
+
+use std::error::Error;
+use std::fmt;
+
+/// Unified error type across the experiment suite.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum VsmoothError {
+    /// PDN construction or analysis failed.
+    Pdn(vsmooth_pdn::PdnError),
+    /// Chip simulation failed.
+    Chip(vsmooth_chip::ChipError),
+    /// Campaign execution failed.
+    Campaign(vsmooth_resilience::CampaignError),
+    /// Scheduling experiment failed.
+    Sched(vsmooth_sched::SchedError),
+}
+
+impl fmt::Display for VsmoothError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pdn(e) => write!(f, "pdn: {e}"),
+            Self::Chip(e) => write!(f, "chip: {e}"),
+            Self::Campaign(e) => write!(f, "campaign: {e}"),
+            Self::Sched(e) => write!(f, "sched: {e}"),
+        }
+    }
+}
+
+impl Error for VsmoothError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Pdn(e) => Some(e),
+            Self::Chip(e) => Some(e),
+            Self::Campaign(e) => Some(e),
+            Self::Sched(e) => Some(e),
+        }
+    }
+}
+
+impl From<vsmooth_pdn::PdnError> for VsmoothError {
+    fn from(e: vsmooth_pdn::PdnError) -> Self {
+        Self::Pdn(e)
+    }
+}
+
+impl From<vsmooth_chip::ChipError> for VsmoothError {
+    fn from(e: vsmooth_chip::ChipError) -> Self {
+        Self::Chip(e)
+    }
+}
+
+impl From<vsmooth_resilience::CampaignError> for VsmoothError {
+    fn from(e: vsmooth_resilience::CampaignError) -> Self {
+        Self::Campaign(e)
+    }
+}
+
+impl From<vsmooth_sched::SchedError> for VsmoothError {
+    fn from(e: vsmooth_sched::SchedError) -> Self {
+        Self::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_wrap_and_display() {
+        let e: VsmoothError = vsmooth_pdn::PdnError::Singular.into();
+        assert!(e.to_string().contains("pdn"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: VsmoothError = vsmooth_chip::ChipError::InvalidConfig("x").into();
+        assert!(e.to_string().contains("chip"));
+    }
+}

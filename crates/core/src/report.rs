@@ -1,0 +1,355 @@
+//! Plain-text rendering of experiment results — the "prints the same
+//! rows/series the paper reports" half of the benchmark harness.
+
+use crate::experiments::{
+    DroopVarianceRow, Fig04, Fig19, SampleDistribution, StallCorrelation,
+};
+use std::fmt::Write as _;
+use vsmooth_pdn::{DecapSwing, MarginFrequencySeries, NodeSwing};
+use vsmooth_resilience::MarginSweep;
+use vsmooth_sched::{BatchSchedule, Policy, SlidingWindow, SpecrateRow};
+
+/// Formats a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", render_row(&header, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        let _ = writeln!(out, "{}", render_row(row, &widths));
+    }
+    out
+}
+
+/// Fig. 1 report.
+pub fn fig01(rows: &[NodeSwing]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.node.to_string(),
+                format!("{:.2}", r.simulated),
+                format!("{:.2}", r.projected),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 1 — Projected voltage swings relative to 45nm (normalized to Vdd)\n{}",
+        table(&["node", "simulated", "analytic"], &body)
+    )
+}
+
+/// Fig. 2 report (selected margins).
+pub fn fig02(series: &[MarginFrequencySeries]) -> String {
+    let margins = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+    let mut rows = Vec::new();
+    for s in series {
+        let mut row = vec![s.node.to_string()];
+        for m in margins {
+            let pct = s
+                .points
+                .iter()
+                .find(|(x, _)| (*x - m).abs() < 1e-9)
+                .map(|(_, y)| *y)
+                .unwrap_or(f64::NAN);
+            row.push(format!("{pct:.0}%"));
+        }
+        rows.push(row);
+    }
+    format!(
+        "Fig. 2 — Peak frequency vs. operating voltage margin\n{}",
+        table(&["node", "m=0%", "m=10%", "m=20%", "m=30%", "m=40%", "m=50%"], &rows)
+    )
+}
+
+/// Fig. 4 report.
+pub fn fig04(data: &Fig04) -> String {
+    let fp = data.full.peak();
+    let rp = data.reduced.peak();
+    let ratio = data.reduced.at(1e6) / data.full.at(1e6);
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 4 — Impedance profile validation");
+    let _ = writeln!(
+        out,
+        "  default caps: peak {:.1} mOhm at {:.0} MHz",
+        fp.impedance_ohms * 1e3,
+        fp.frequency_hz / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "  reduced caps: peak {:.1} mOhm at {:.0} MHz",
+        rp.impedance_ohms * 1e3,
+        rp.frequency_hz / 1e6
+    );
+    let _ = writeln!(out, "  impedance at 1 MHz, reduced/default: {ratio:.1}x (paper: ~5x)");
+    let _ = writeln!(out, "  software-loop reconstruction (empirical vs analytic):");
+    for p in &data.empirical {
+        let analytic = data.full.at(p.frequency_hz);
+        let _ = writeln!(
+            out,
+            "    {:>8.2} MHz: measured {:.2} mOhm, analytic {:.2} mOhm",
+            p.frequency_hz / 1e6,
+            p.impedance_ohms * 1e3,
+            analytic * 1e3
+        );
+    }
+    out
+}
+
+/// Fig. 6 report.
+pub fn fig06(rows: &[DecapSwing]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.decap.to_string(),
+                format!("{:.1} mV", r.peak_to_peak * 1e3),
+                format!("{:.2}x", r.relative),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 6 — Reset-stimulus peak-to-peak swing across decap removal\n{}",
+        table(&["processor", "p2p", "relative"], &body)
+    )
+}
+
+/// Fig. 7 / Fig. 9 report.
+pub fn sample_distribution(d: &SampleDistribution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sample distribution over {} runs:",
+        d.decap, d.runs
+    );
+    let _ = writeln!(out, "  max droop     {:.1}%", d.max_droop_pct);
+    let _ = writeln!(out, "  max overshoot {:.1}%", d.max_overshoot_pct);
+    let _ = writeln!(
+        out,
+        "  samples beyond -4%% typical case: {:.4}%",
+        100.0 * d.fraction_beyond_typical
+    );
+    for q in [0.0001, 0.001, 0.01, 0.5, 0.99] {
+        if let Some(v) = d.cdf.quantile(q) {
+            let _ = writeln!(out, "  p{:<7} {v:+.2}%", q * 100.0);
+        }
+    }
+    out
+}
+
+/// Fig. 8 report.
+pub fn fig08(sweeps: &[MarginSweep]) -> String {
+    let body: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            let (m, imp) = s.optimal();
+            let dead = s.dead_zone();
+            vec![
+                format!("{}", s.recovery_cost),
+                format!("-{m:.1}%"),
+                format!("{:.1}%", imp * 100.0),
+                if dead.is_empty() {
+                    "none".to_string()
+                } else {
+                    format!("margins < {:.1}%", dead.last().copied().unwrap_or(0.0))
+                },
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 8 — Typical-case improvement vs. margin (Proc100)\n{}",
+        table(&["recovery", "optimal margin", "peak gain", "dead zone"], &body)
+    )
+}
+
+/// Fig. 10 report.
+pub fn fig10(maps: &[(vsmooth_pdn::DecapConfig, vsmooth_resilience::ImprovementHeatmap)]) -> String {
+    let body: Vec<Vec<String>> = maps
+        .iter()
+        .map(|(d, m)| {
+            vec![
+                d.to_string(),
+                format!("{:.0}%", 100.0 * m.positive_fraction()),
+                format!("{:.1}%", 100.0 * m.max_improvement()),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 10 — Improvement pocket across (cost x margin)\n{}",
+        table(&["processor", "cells > 0", "best gain"], &body)
+    )
+}
+
+/// Fig. 14 report.
+pub fn fig14(timelines: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::from("Fig. 14 — Voltage-noise phases (droops/1k cycles per interval)\n");
+    for (name, series) in timelines {
+        let rendered: Vec<String> = series.iter().map(|v| format!("{v:.0}")).collect();
+        let _ = writeln!(out, "  {name:<14} [{}]", rendered.join(" "));
+    }
+    out
+}
+
+/// Fig. 15 report.
+pub fn fig15(c: &StallCorrelation) -> String {
+    let body: Vec<Vec<String>> = c
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.1}", r.droops_per_kilocycle),
+                format!("{:.2}", r.stall_ratio),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 15 — Droops vs stall ratio (correlation {:.2}; paper: 0.97)\n{}",
+        c.correlation,
+        table(&["benchmark", "droops/1k", "stall ratio"], &body)
+    )
+}
+
+/// Fig. 16 report.
+pub fn fig16(sw: &SlidingWindow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 16 — Sliding window: {} under restarting {}", sw.program_x, sw.program_y);
+    let s: Vec<String> = sw.single.iter().map(|v| format!("{v:.0}")).collect();
+    let c: Vec<String> = sw.coscheduled.iter().map(|v| format!("{v:.0}")).collect();
+    let _ = writeln!(out, "  single-core : [{}]", s.join(" "));
+    let _ = writeln!(out, "  co-scheduled: [{}]", c.join(" "));
+    let _ = writeln!(out, "  constructive intervals: {:?}", sw.constructive_intervals());
+    let _ = writeln!(out, "  destructive  intervals: {:?}", sw.destructive_intervals());
+    out
+}
+
+/// Fig. 17 report.
+pub fn fig17(rows: &[DroopVarianceRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.1}", r.boxplot.min),
+                format!("{:.1}", r.boxplot.median),
+                format!("{:.1}", r.boxplot.max),
+                format!("{:.1}", r.single_core),
+                format!("{:.1}", r.specrate),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 17 — Droop variance across co-schedules (droops/1k)\n{}",
+        table(&["benchmark", "min", "median", "max", "single", "SPECrate"], &body)
+    )
+}
+
+/// Fig. 18 report.
+pub fn fig18(batches: &[BatchSchedule]) -> String {
+    let mut out = String::from(
+        "Fig. 18 — Batch schedules relative to SPECrate (droops, perf; Q1 = fewer droops & faster)\n",
+    );
+    let mut summary = |label: &str, filter: &dyn Fn(&&BatchSchedule) -> bool| {
+        let sel: Vec<&BatchSchedule> = batches.iter().filter(filter).collect();
+        if sel.is_empty() {
+            return;
+        }
+        let d = sel.iter().map(|b| b.normalized_droops).sum::<f64>() / sel.len() as f64;
+        let p = sel.iter().map(|b| b.normalized_ipc).sum::<f64>() / sel.len() as f64;
+        let _ = writeln!(
+            out,
+            "  {label:<14} droops {d:.2}x  perf {p:.3}x  (n={}, quadrant {})",
+            sel.len(),
+            sel[0].quadrant()
+        );
+    };
+    summary("Random", &|b| matches!(b.policy, Policy::Random { .. }));
+    summary("IPC", &|b| matches!(b.policy, Policy::Ipc));
+    summary("Droop", &|b| matches!(b.policy, Policy::Droop));
+    summary("IPC/Droop^n", &|b| matches!(b.policy, Policy::IpcOverDroopN { .. }));
+    out
+}
+
+/// Fig. 19 report.
+pub fn fig19(f: &Fig19) -> String {
+    let body: Vec<Vec<String>> = f
+        .droop
+        .iter()
+        .zip(&f.ipc)
+        .map(|(d, i)| {
+            vec![
+                format!("{}", d.recovery_cost),
+                format!("{}", d.specrate_passing),
+                format!("{} ({:+.0}%)", i.scheduled_passing, i.increase_pct),
+                format!("{} ({:+.0}%)", d.scheduled_passing, d.increase_pct),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 19 — Passing schedules vs. recovery cost (Proc3)\n{}",
+        table(&["recovery", "SPECrate", "IPC sched", "Droop sched"], &body)
+    )
+}
+
+/// Tab. I report.
+pub fn tab01(rows: &[SpecrateRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.recovery_cost),
+                format!("{:.1}", r.optimal_margin_pct),
+                format!("{:.1}", 100.0 * r.expected_improvement),
+                format!("{}", r.passing),
+            ]
+        })
+        .collect();
+    format!(
+        "Tab. I — SPECrate typical-case analysis at optimal margins (Proc3)\n{}",
+        table(&["recovery (cycles)", "optimal margin (%)", "expected improvement (%)", "# passing"], &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&["a", "bb"], &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bb"));
+        assert!(lines[3].contains("200"));
+    }
+
+    #[test]
+    fn fig01_report_contains_nodes() {
+        let rows = vsmooth_pdn::node_swing_projection().unwrap();
+        let r = fig01(&rows);
+        assert!(r.contains("45nm") && r.contains("11nm"));
+    }
+
+    #[test]
+    fn fig02_report_contains_margin_columns() {
+        let r = fig02(&vsmooth_pdn::margin_frequency_sweep());
+        assert!(r.contains("m=20%"));
+        assert!(r.contains("16nm"));
+    }
+}

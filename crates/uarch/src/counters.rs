@@ -1,0 +1,152 @@
+//! Hardware performance counters (the paper reads these with VTune).
+//!
+//! The scheduler side of the paper leans on exactly two derived counter
+//! metrics: **stall ratio** — "computed from counters that measure the
+//! numbers of cycles the pipeline is waiting" (Sec. IV-A, correlates
+//! 0.97 with droops) — and **IPC** for the performance-oriented
+//! scheduling baseline (Sec. IV-C).
+
+use crate::event::StallEvent;
+use serde::{Deserialize, Serialize};
+
+/// Per-core performance counters.
+///
+/// # Examples
+///
+/// ```
+/// use vsmooth_uarch::PerfCounters;
+///
+/// let mut c = PerfCounters::new();
+/// c.on_cycle(true, 0.0);
+/// c.on_cycle(false, 2.0);
+/// assert_eq!(c.cycles(), 2);
+/// assert_eq!(c.stall_ratio(), 0.5);
+/// assert_eq!(c.ipc(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    cycles: u64,
+    stall_cycles: u64,
+    committed: f64,
+    event_counts: [u64; 5],
+}
+
+impl PerfCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances one cycle, recording whether it stalled and how many
+    /// instructions committed.
+    pub fn on_cycle(&mut self, stalled: bool, committed: f64) {
+        self.cycles += 1;
+        if stalled {
+            self.stall_cycles += 1;
+        }
+        self.committed += committed;
+    }
+
+    /// Records the occurrence of a stall event.
+    pub fn on_event(&mut self, e: StallEvent) {
+        let idx = StallEvent::ALL.iter().position(|&x| x == e).expect("event in ALL");
+        self.event_counts[idx] += 1;
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles spent with the pipeline stalled.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Committed instructions (fractional commits accumulate exactly).
+    pub fn instructions(&self) -> f64 {
+        self.committed
+    }
+
+    /// Fraction of cycles spent stalled — VTune's "stall ratio" event,
+    /// the software-visible noise proxy of Fig. 15.
+    pub fn stall_ratio(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed / self.cycles as f64
+        }
+    }
+
+    /// Number of occurrences of `e`.
+    pub fn event_count(&self, e: StallEvent) -> u64 {
+        let idx = StallEvent::ALL.iter().position(|&x| x == e).expect("event in ALL");
+        self.event_counts[idx]
+    }
+
+    /// Merges another counter set (e.g. across intervals).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.committed += other.committed;
+        for (a, b) in self.event_counts.iter_mut().zip(&other.event_counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_counters_are_safe() {
+        let c = PerfCounters::new();
+        assert_eq!(c.stall_ratio(), 0.0);
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.cycles(), 0);
+    }
+
+    #[test]
+    fn event_counts_track_per_event() {
+        let mut c = PerfCounters::new();
+        c.on_event(StallEvent::BranchMispredict);
+        c.on_event(StallEvent::BranchMispredict);
+        c.on_event(StallEvent::L2Miss);
+        assert_eq!(c.event_count(StallEvent::BranchMispredict), 2);
+        assert_eq!(c.event_count(StallEvent::L2Miss), 1);
+        assert_eq!(c.event_count(StallEvent::TlbMiss), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = PerfCounters::new();
+        let mut b = PerfCounters::new();
+        a.on_cycle(true, 0.0);
+        b.on_cycle(false, 3.0);
+        b.on_event(StallEvent::L1Miss);
+        a.merge(&b);
+        assert_eq!(a.cycles(), 2);
+        assert_eq!(a.stall_cycles(), 1);
+        assert_eq!(a.instructions(), 3.0);
+        assert_eq!(a.event_count(StallEvent::L1Miss), 1);
+    }
+
+    #[test]
+    fn stall_ratio_in_unit_interval() {
+        let mut c = PerfCounters::new();
+        for i in 0..100 {
+            c.on_cycle(i % 3 == 0, 1.0);
+        }
+        assert!(c.stall_ratio() > 0.0 && c.stall_ratio() < 1.0);
+    }
+}

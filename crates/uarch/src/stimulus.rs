@@ -1,0 +1,337 @@
+//! Stimulus sources: the software side of the per-cycle simulation.
+//!
+//! A [`StimulusSource`] is "what runs on the core" — it emits one
+//! [`CycleStimulus`] per clock. This module provides the hand-crafted
+//! microbenchmarks of Sec. III-C, the OS idle loop, the CPUBurn-like
+//! power virus used for worst-case-margin determination (Sec. II-C),
+//! and the current-modulating software loop used to reconstruct the
+//! impedance profile (Sec. II-A validation).
+
+use crate::core::CycleStimulus;
+use crate::event::StallEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-cycle source of execution stimuli — the running software.
+pub trait StimulusSource: Send {
+    /// The stimulus for the next clock cycle.
+    fn next(&mut self) -> CycleStimulus;
+
+    /// Short human-readable name (used in experiment reports).
+    fn name(&self) -> &str;
+}
+
+/// The OS idle loop: the measurement baseline for every relative swing
+/// in Figs. 12 and 13 ("relative to an idling OS").
+///
+/// An idling operating system is not electrically silent: timer ticks,
+/// scheduler housekeeping and C-state entry/exit produce short activity
+/// bursts on top of the halted core. Those bursts set the idle
+/// peak-to-peak baseline (about 2-3x the bare regulator ripple), which
+/// is the denominator of every "relative to an idling OS" number in
+/// the paper.
+#[derive(Debug, Clone)]
+pub struct IdleLoop {
+    rng: StdRng,
+    gap_remaining: u32,
+    burst_remaining: u32,
+    burst_intensity: f64,
+}
+
+impl IdleLoop {
+    /// Creates an idle loop with deterministic background activity.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x1d1e),
+            gap_remaining: 800,
+            burst_remaining: 0,
+            burst_intensity: 0.0,
+        }
+    }
+}
+
+impl Default for IdleLoop {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl StimulusSource for IdleLoop {
+    fn next(&mut self) -> CycleStimulus {
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            return CycleStimulus::Active { intensity: self.burst_intensity };
+        }
+        if self.gap_remaining == 0 {
+            // OS housekeeping burst.
+            self.burst_remaining = self.rng.gen_range(20..50);
+            self.burst_intensity = self.rng.gen_range(0.12..0.24);
+            self.gap_remaining = self.rng.gen_range(1_500..4_000);
+            return CycleStimulus::Active { intensity: self.burst_intensity };
+        }
+        self.gap_remaining -= 1;
+        CycleStimulus::Idle
+    }
+
+    fn name(&self) -> &str {
+        "idle"
+    }
+}
+
+/// Steady execution at a fixed intensity (useful as a control and in
+/// tests).
+#[derive(Debug, Clone)]
+pub struct FixedIntensity {
+    intensity: f64,
+}
+
+impl FixedIntensity {
+    /// Creates a source that always executes at `intensity`.
+    pub fn new(intensity: f64) -> Self {
+        Self { intensity }
+    }
+}
+
+impl StimulusSource for FixedIntensity {
+    fn next(&mut self) -> CycleStimulus {
+        CycleStimulus::Active { intensity: self.intensity }
+    }
+
+    fn name(&self) -> &str {
+        "fixed"
+    }
+}
+
+/// A hand-crafted microbenchmark: a loop that repeatedly triggers one
+/// specific stall event, "so that activity recurs long enough to
+/// measure its effect on core voltage" (Sec. III-C).
+///
+/// The recurrence period is event-specific; the branch-misprediction
+/// loop recurs near the PDN resonance, which is what makes BR the
+/// largest single-core swing in Fig. 12. A small random jitter models
+/// the scheduling noise that keeps two *independent* cores from
+/// phase-locking their loops perfectly.
+#[derive(Debug, Clone)]
+pub struct Microbenchmark {
+    event: StallEvent,
+    period: u32,
+    jitter: u32,
+    intensity: f64,
+    weight: f64,
+    countdown: u32,
+    rng: StdRng,
+    name: String,
+}
+
+impl Microbenchmark {
+    /// The canonical loop for `event`, seeded deterministically.
+    pub fn new(event: StallEvent, seed: u64) -> Self {
+        // Period = stall + surge + an event-typical active stretch.
+        // The weight is how much of the full drain/refill signature the
+        // serialized loop exercises: a dependent-load L2/TLB chase keeps
+        // a single miss in flight (low weight); the branch loop flushes
+        // and refills the whole front end (higher weight).
+        let (period, jitter, weight) = match event {
+            StallEvent::L1Miss => (34, 3, 0.60),
+            StallEvent::L2Miss => (420, 24, 0.40),
+            StallEvent::TlbMiss => (90, 6, 0.55),
+            // Recurs at ~124 MHz: right on the package resonance.
+            StallEvent::BranchMispredict => (15, 8, 0.95),
+            StallEvent::Exception => (260, 1, 0.58),
+        };
+        Self {
+            event,
+            period,
+            jitter,
+            intensity: 1.0,
+            weight,
+            countdown: period,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_u64.rotate_left(event as u32)),
+            name: format!("micro-{}", event.label()),
+        }
+    }
+
+    /// The event this microbenchmark exercises.
+    pub fn event(&self) -> StallEvent {
+        self.event
+    }
+
+    /// The nominal loop period in cycles.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+}
+
+impl StimulusSource for Microbenchmark {
+    fn next(&mut self) -> CycleStimulus {
+        if self.countdown == 0 {
+            let j = if self.jitter > 0 {
+                self.rng.gen_range(0..=2 * self.jitter) as i64 - i64::from(self.jitter)
+            } else {
+                0
+            };
+            self.countdown = (i64::from(self.period) + j).max(1) as u32;
+            return CycleStimulus::Event { event: self.event, weight: self.weight };
+        }
+        self.countdown -= 1;
+        CycleStimulus::Active { intensity: self.intensity }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A square-wave activity loop: `high_cycles` at `high` intensity, then
+/// `low_cycles` at `low`. With the half-period tuned to the package
+/// resonance this is the paper's current-step loop for impedance
+/// reconstruction; run flat-out it approximates CPUBurn.
+#[derive(Debug, Clone)]
+pub struct SquareWave {
+    high: f64,
+    low: f64,
+    high_cycles: u32,
+    low_cycles: u32,
+    pos: u32,
+    name: String,
+}
+
+impl SquareWave {
+    /// Creates a square wave between two intensities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either half has zero length.
+    pub fn new(high: f64, low: f64, high_cycles: u32, low_cycles: u32) -> Self {
+        assert!(high_cycles > 0 && low_cycles > 0, "square wave halves must be non-empty");
+        Self {
+            high,
+            low,
+            high_cycles,
+            low_cycles,
+            pos: 0,
+            name: format!("square-{high_cycles}/{low_cycles}"),
+        }
+    }
+
+    /// The current-consuming validation loop of Sec. II-A, modulating
+    /// between a high-current and a low-current instruction sequence at
+    /// the requested period (in cycles).
+    pub fn current_loop(period_cycles: u32) -> Self {
+        let half = (period_cycles / 2).max(1);
+        Self::new(1.0, 0.12, half, half)
+    }
+
+    /// A dI/dt power virus pumping the ~120 MHz package resonance
+    /// (period 16 cycles at 1.86 GHz); produces the deepest droops of
+    /// any source and is used to locate the worst-case margin.
+    pub fn power_virus() -> Self {
+        Self::power_virus_with_period(16)
+    }
+
+    /// A power virus tuned to an arbitrary pumping period. Worst-case
+    /// margining sweeps periods because decap-removed packages resonate
+    /// at lower frequencies than the stock one.
+    pub fn power_virus_with_period(period_cycles: u32) -> Self {
+        let half = (period_cycles / 2).max(1);
+        let mut s = Self::new(1.5, 0.0, half, period_cycles.saturating_sub(half).max(1));
+        s.name = format!("power-virus-{period_cycles}");
+        s
+    }
+
+    /// Full period in cycles.
+    pub fn period(&self) -> u32 {
+        self.high_cycles + self.low_cycles
+    }
+}
+
+impl StimulusSource for SquareWave {
+    fn next(&mut self) -> CycleStimulus {
+        let intensity = if self.pos < self.high_cycles { self.high } else { self.low };
+        self.pos = (self.pos + 1) % (self.high_cycles + self.low_cycles);
+        CycleStimulus::Active { intensity }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_loop_is_mostly_idle_with_background_bursts() {
+        let mut s = IdleLoop::new(1);
+        let mut idle = 0u32;
+        let mut active = 0u32;
+        for _ in 0..50_000 {
+            match s.next() {
+                CycleStimulus::Idle => idle += 1,
+                CycleStimulus::Active { .. } => active += 1,
+                CycleStimulus::Event { .. } => {}
+            }
+        }
+        // Bursts are a small but real fraction (~1-4%) of cycles.
+        assert!(idle > 45_000, "idle cycles = {idle}");
+        assert!(active > 300, "background activity = {active}");
+    }
+
+    #[test]
+    fn microbenchmark_fires_roughly_at_period() {
+        let mut m = Microbenchmark::new(StallEvent::TlbMiss, 1);
+        let mut events = 0;
+        let n = 90 * 100;
+        for _ in 0..n {
+            if matches!(m.next(), CycleStimulus::Event { .. }) {
+                events += 1;
+            }
+        }
+        // ~one event per nominal period, within jitter tolerance.
+        assert!((90..=110).contains(&events), "events = {events}");
+    }
+
+    #[test]
+    fn microbenchmark_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut m = Microbenchmark::new(StallEvent::BranchMispredict, seed);
+            (0..500).map(|_| matches!(m.next(), CycleStimulus::Event { .. })).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn branch_microbenchmark_recurs_near_resonance() {
+        let m = Microbenchmark::new(StallEvent::BranchMispredict, 0);
+        // 1.86 GHz / 16 cycles ≈ 116 MHz, inside the 100-200 MHz band.
+        let f = 1.86e9 / f64::from(m.period());
+        assert!((1.0e8..2.0e8).contains(&f), "recurrence at {f:.2e} Hz");
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let mut s = SquareWave::new(1.0, 0.0, 2, 3);
+        let seq: Vec<f64> = (0..10)
+            .map(|_| match s.next() {
+                CycleStimulus::Active { intensity } => intensity,
+                _ => panic!("square wave must be active"),
+            })
+            .collect();
+        assert_eq!(seq, vec![1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn power_virus_pumps_resonance_period() {
+        let v = SquareWave::power_virus();
+        assert_eq!(v.period(), 16);
+        assert_eq!(v.name(), "power-virus-16");
+    }
+
+    #[test]
+    fn current_loop_period_is_respected() {
+        let l = SquareWave::current_loop(100);
+        assert_eq!(l.period(), 100);
+    }
+}

@@ -1,0 +1,63 @@
+//! Voltage-noise characterization with microbenchmarks (the paper's
+//! Sec. III-C study): which stall events shake the supply hardest, and
+//! what happens when two cores interfere.
+//!
+//! ```text
+//! cargo run --example characterize_noise --release
+//! ```
+
+use vsmooth::chip::{
+    idle_swing_pct, interference_matrix, single_core_event_swings, tlb_overshoot_trace,
+    ChipConfig,
+};
+use vsmooth::pdn::DecapConfig;
+use vsmooth::uarch::StallEvent;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+
+    let idle = idle_swing_pct(&chip)?;
+    println!("Idling OS baseline: {idle:.2}% peak-to-peak (VRM ripple + housekeeping)\n");
+
+    // Fig. 12: one event class at a time on a single core.
+    println!("Single-core event swings (relative to idle):");
+    for s in single_core_event_swings(&chip)? {
+        let bar = "#".repeat((s.relative_swing * 20.0) as usize);
+        println!("  {:>4} {:>5.2}x {bar}", s.event, s.relative_swing);
+    }
+
+    // Fig. 13: every event pair across the two cores.
+    let m = interference_matrix(&chip)?;
+    println!("\nCross-core interference (rows = core 0, cols = core 1):");
+    print!("      ");
+    for e in StallEvent::ALL {
+        print!("{:>6}", e.label());
+    }
+    println!();
+    for (i, e) in StallEvent::ALL.iter().enumerate() {
+        print!("{:>6}", e.label());
+        for v in m.matrix[i] {
+            print!("{v:>6.2}");
+        }
+        println!();
+    }
+    let (e0, e1, max) = m.max();
+    println!("\nWorst pair: {e0} x {e1} = {max:.2}x idle (the paper measures 2.42x)");
+
+    // Fig. 11: a snippet of the raw waveform while TLB misses recur.
+    let trace = tlb_overshoot_trace(&chip, 600)?;
+    println!("\nTLB-miss scope trace (ASCII, 600 cycles):");
+    let (lo, hi) = trace
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    for row in (0..8).rev() {
+        let thresh = lo + (hi - lo) * (row as f64 + 0.5) / 8.0;
+        let line: String = trace
+            .iter()
+            .step_by(6)
+            .map(|&v| if v >= thresh { '*' } else { ' ' })
+            .collect();
+        println!("  {:>7.1}mV |{line}", (thresh - lo) * 1e3);
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Extrapolating voltage noise into future technology nodes: the
+//! decap-removal study (Sec. II-B) and the growing cost of worst-case
+//! margins (Figs. 1, 2, 6, 9).
+//!
+//! ```text
+//! cargo run --example future_nodes --release
+//! ```
+
+use vsmooth::chip::{run_pair, ChipConfig, Fidelity};
+use vsmooth::pdn::{
+    decap_swing_sweep, margin_frequency_sweep, node_swing_projection, DecapConfig,
+};
+use vsmooth::resilience::measure_worst_case_margin;
+use vsmooth::workload::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 1: fractional swings grow ~1/Vdd^2 with scaling.
+    println!("Projected voltage swings relative to 45nm (Fig. 1):");
+    for row in node_swing_projection()? {
+        println!("  {:>4}: {:.2}x", row.node.to_string(), row.simulated);
+    }
+
+    // Fig. 2: and margins get more expensive at low voltage.
+    println!("\nFrequency cost of a 20% margin per node (Fig. 2):");
+    for series in margin_frequency_sweep() {
+        let at20 = series.points.iter().find(|(m, _)| *m == 20.0).map(|(_, f)| *f).unwrap_or(0.0);
+        println!("  {:>4}: {:.0}% of peak frequency", series.node.to_string(), at20);
+    }
+
+    // Fig. 6: the hardware extrapolation — break capacitors off the
+    // package and watch the reset droop grow.
+    println!("\nReset-stimulus swing vs. package capacitance (Fig. 6):");
+    for s in decap_swing_sweep()? {
+        println!("  {:<8} {:.2}x", s.decap.to_string(), s.relative);
+    }
+
+    // The same machines under a real workload pair.
+    println!("\nsphinx3+mcf on today's vs future processors:");
+    let a = by_name("482.sphinx3").expect("sphinx3");
+    let b = by_name("429.mcf").expect("mcf");
+    for decap in [DecapConfig::proc100(), DecapConfig::proc25(), DecapConfig::proc3()] {
+        let chip = ChipConfig::core2_duo(decap.clone());
+        let stats = run_pair(&chip, &a, &b, Fidelity::Custom(20_000))?;
+        let wc = measure_worst_case_margin(&chip, 80_000)?;
+        println!(
+            "  {:<8} max droop {:.1}%  beyond -4%: {:.3}%  virus-derived margin {:.1}%",
+            decap.to_string(),
+            stats.max_droop_pct(),
+            100.0 * stats.fraction_below(4.0),
+            wc.margin_pct
+        );
+    }
+    println!("\nWorst-case margins are not sustainable: design for the typical case instead.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Noise-aware thread scheduling (the paper's Sec. IV): build the pair
+//! oracle on the future-node processor, then compare Droop, IPC and
+//! Random batch scheduling, plus the counter-driven online scheduler.
+//!
+//! ```text
+//! cargo run --example noise_aware_scheduling --release
+//! ```
+
+use vsmooth::chip::{ChipConfig, Fidelity};
+use vsmooth::pdn::DecapConfig;
+use vsmooth::sched::{
+    compare_online_scheduling, schedule_batch, PairOracle, Policy, StallRatioPredictor,
+};
+use vsmooth::workload::spec2006;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sec. IV runs on Proc3, the future node with 3% of its package
+    // capacitance. A 10-benchmark pool keeps this example fast; drop
+    // `.take(10)` for the full 29x29 study.
+    let chip = ChipConfig::core2_duo(DecapConfig::proc3());
+    let pool: Vec<_> = spec2006().into_iter().take(10).collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    println!("Measuring the {0}x{0} pair oracle on Proc3...", pool.len());
+    let oracle = PairOracle::measure(&chip, Fidelity::Custom(8_000), &pool, threads)?;
+
+    println!("\nBatch schedules (normalized to SPECrate; droops lower = quieter):");
+    for policy in [
+        Policy::Random { seed: 7 },
+        Policy::Ipc,
+        Policy::Droop,
+        Policy::IpcOverDroopN { n: 1.0 },
+    ] {
+        let b = schedule_batch(&oracle, policy);
+        println!(
+            "  {:<14} droops {:.2}x  perf {:.3}x  (quadrant Q{})",
+            policy.to_string(),
+            b.normalized_droops,
+            b.normalized_ipc,
+            b.quadrant()
+        );
+    }
+
+    // The software-only extension: predict droops from the stall-ratio
+    // performance counter instead of oracle measurements.
+    let predictor = StallRatioPredictor::train(&oracle).expect("trainable oracle");
+    println!(
+        "\nStall-ratio predictor: corr {:.2} (the paper reports 0.97 on single-core data)",
+        predictor.correlation()
+    );
+    if let Some(cmp) = compare_online_scheduling(&oracle) {
+        println!(
+            "  oracle Droop batch : {:.2}x SPECrate droops",
+            cmp.oracle_batch.normalized_droops
+        );
+        println!(
+            "  online Droop batch : {:.2}x SPECrate droops (regret {:+.3})",
+            cmp.online_batch.normalized_droops, cmp.regret
+        );
+    }
+    Ok(())
+}

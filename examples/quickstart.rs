@@ -1,0 +1,46 @@
+//! Quickstart: simulate a workload on the Core 2 Duo model, inspect
+//! its voltage noise, and evaluate a resilient (typical-case) design.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use vsmooth::chip::{run_workload, ChipConfig, Fidelity, PHASE_MARGIN_PCT};
+use vsmooth::pdn::DecapConfig;
+use vsmooth::resilience::{model, performance_improvement};
+use vsmooth::workload::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's platform: a two-core E6300 with its stock package.
+    let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+
+    // Run the memory-bound 429.mcf to completion while the other core
+    // idles, sensing the die voltage every cycle.
+    let mcf = by_name("429.mcf").expect("429.mcf is in the catalog");
+    let stats = run_workload(&chip, &mcf, Fidelity::Custom(40_000))?;
+
+    println!("429.mcf on Core2Duo/Proc100:");
+    println!("  cycles simulated   : {}", stats.cycles);
+    println!("  chip IPC           : {:.2}", stats.ipc());
+    println!("  stall ratio        : {:.2}", stats.stall_ratio());
+    println!("  peak-to-peak swing : {:.2}% of nominal", stats.peak_to_peak_pct());
+    println!("  deepest droop      : {:.2}%", stats.max_droop_pct());
+    println!(
+        "  droops at the {PHASE_MARGIN_PCT}% characterization margin: {:.1} per 1k cycles",
+        stats.droops_per_kilocycle(PHASE_MARGIN_PCT)
+    );
+
+    // What would a resilient design gain over the worst-case 14% margin?
+    println!("\nTypical-case design (Bowman 1.5x margin-to-frequency scaling):");
+    for cost in model::RECOVERY_COSTS {
+        let sweeps = model::margin_sweeps(&[&stats], &[cost]);
+        let (margin, gain) = sweeps[0].optimal();
+        println!(
+            "  recovery {cost:>6} cycles: optimal margin -{margin:.1}%, net gain {:+.1}% \
+             (at -3%: {:+.1}%)",
+            100.0 * gain,
+            100.0 * performance_improvement(&stats, 3.0, cost)
+        );
+    }
+    Ok(())
+}

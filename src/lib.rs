@@ -1,0 +1,2 @@
+//! Examples/integration-test host package for the vsmooth workspace.
+//! The real library lives in `crates/core` (package `vsmooth`).

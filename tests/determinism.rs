@@ -1,0 +1,48 @@
+//! Reproducibility: every experiment is deterministic for a fixed
+//! configuration, regardless of thread count.
+
+use vsmooth::chip::{run_pair, run_workload, ChipConfig, Fidelity};
+use vsmooth::pdn::DecapConfig;
+use vsmooth::resilience::CampaignSpec;
+use vsmooth::workload::by_name;
+
+#[test]
+fn workload_runs_are_bit_identical() {
+    let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+    let w = by_name("458.sjeng").unwrap();
+    let a = run_workload(&chip, &w, Fidelity::Custom(3_000)).unwrap();
+    let b = run_workload(&chip, &w, Fidelity::Custom(3_000)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pair_runs_are_bit_identical() {
+    let chip = ChipConfig::core2_duo(DecapConfig::proc3());
+    let x = by_name("473.astar").unwrap();
+    let y = by_name("429.mcf").unwrap();
+    let a = run_pair(&chip, &x, &y, Fidelity::Custom(2_000)).unwrap();
+    let b = run_pair(&chip, &x, &y, Fidelity::Custom(2_000)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn campaigns_are_deterministic_across_thread_counts() {
+    let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+    let a = CampaignSpec::reduced(chip.clone(), Fidelity::Custom(1_000), 3).run(1).unwrap();
+    let b = CampaignSpec::reduced(chip, Fidelity::Custom(1_000), 3).run(8).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ordered_pairs_differ_but_share_the_chip() {
+    // (A,B) and (B,A) swap which core runs what; the chip-wide noise is
+    // similar but the runs are distinct measurements.
+    let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+    let x = by_name("482.sphinx3").unwrap();
+    let y = by_name("453.povray").unwrap();
+    let xy = run_pair(&chip, &x, &y, Fidelity::Custom(3_000)).unwrap();
+    let yx = run_pair(&chip, &y, &x, Fidelity::Custom(3_000)).unwrap();
+    let a = xy.droops_per_kilocycle(2.3);
+    let b = yx.droops_per_kilocycle(2.3);
+    assert!((a - b).abs() < 0.5 * a.max(b).max(1.0), "xy={a:.1} yx={b:.1}");
+}

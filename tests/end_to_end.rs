@@ -1,0 +1,113 @@
+//! Cross-crate integration: the hardware-free figures of the paper,
+//! regenerated end-to-end through the `vsmooth` facade.
+
+use vsmooth::experiments::{ExperimentConfig, Lab};
+use vsmooth::uarch::StallEvent;
+
+fn lab() -> Lab {
+    Lab::new(ExperimentConfig::quick())
+}
+
+#[test]
+fn fig01_swings_double_by_16nm() {
+    let rows = lab().fig01().unwrap();
+    assert_eq!(rows.len(), 5);
+    let n16 = rows.iter().find(|r| r.node.nanometers() == 16).unwrap();
+    assert!((1.8..2.3).contains(&n16.simulated), "16nm swing {:.2}", n16.simulated);
+    // Monotone growth toward 11nm.
+    for w in rows.windows(2) {
+        assert!(w[1].simulated > w[0].simulated);
+    }
+}
+
+#[test]
+fn fig02_margins_cost_more_frequency_at_smaller_nodes() {
+    let series = lab().fig02();
+    let at = |nm: u32, margin: f64| {
+        series
+            .iter()
+            .find(|s| s.node.nanometers() == nm)
+            .and_then(|s| s.points.iter().find(|(m, _)| *m == margin))
+            .map(|(_, f)| *f)
+            .unwrap()
+    };
+    // ~25% frequency loss at 20% margin on 45nm; worse at 16nm.
+    let loss45 = 100.0 - at(45, 20.0);
+    let loss16 = 100.0 - at(16, 20.0);
+    assert!((15.0..35.0).contains(&loss45), "45nm loss {loss45:.1}%");
+    assert!(loss16 > loss45);
+}
+
+#[test]
+fn fig04_empirical_impedance_confirms_analytic_resonance() {
+    let data = lab().fig04().unwrap();
+    let peak = data.full.peak();
+    assert!((8e7..2.5e8).contains(&peak.frequency_hz));
+    // The software-loop points must identify the same broad shape: the
+    // reconstruction near resonance reads higher than at low frequency.
+    let near_res = data
+        .empirical
+        .iter()
+        .filter(|p| (5e7..3e8).contains(&p.frequency_hz))
+        .map(|p| p.impedance_ohms)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let low_freq = data
+        .empirical
+        .iter()
+        .filter(|p| p.frequency_hz < 1e7)
+        .map(|p| p.impedance_ohms)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(near_res > low_freq, "resonance {near_res:.2e} vs low {low_freq:.2e}");
+}
+
+#[test]
+fn fig05_and_fig06_decap_removal_amplifies_reset_droop() {
+    let l = lab();
+    let waves = l.fig05(32).unwrap();
+    assert_eq!(waves.len(), 6);
+    let swings = l.fig06().unwrap();
+    assert!((swings[0].relative - 1.0).abs() < 1e-9);
+    let proc3 = swings.iter().find(|s| s.decap.percent_retained() == 3).unwrap();
+    assert!((1.7..2.7).contains(&proc3.relative), "Proc3 {:.2}", proc3.relative);
+}
+
+#[test]
+fn fig12_and_fig13_event_characterization_matches_paper_shape() {
+    let l = lab();
+    let singles = l.fig12().unwrap();
+    let br = singles
+        .iter()
+        .find(|s| s.event == StallEvent::BranchMispredict)
+        .unwrap()
+        .relative_swing;
+    for s in &singles {
+        assert!(
+            br >= s.relative_swing - 1e-9,
+            "BR ({br:.2}) must be the largest single-core swing, {} = {:.2}",
+            s.event,
+            s.relative_swing
+        );
+    }
+    let m = l.fig13().unwrap();
+    let (e0, e1, pair_max) = m.max();
+    assert_eq!((e0, e1), (StallEvent::Exception, StallEvent::Exception));
+    assert!(pair_max > br, "pairs ({pair_max:.2}) must exceed singles ({br:.2})");
+}
+
+#[test]
+fn fig11_trace_has_vrm_sawtooth_periodicity() {
+    let trace = lab().fig11(6_000).unwrap();
+    assert_eq!(trace.len(), 6_000);
+    // Autocorrelation at the ripple period should beat a quarter-period
+    // offset: the sawtooth is the background.
+    let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+    let auto = |lag: usize| -> f64 {
+        trace[..trace.len() - lag]
+            .iter()
+            .zip(&trace[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+    };
+    let period = 1_900;
+    assert!(auto(period) > auto(period / 4), "no ripple periodicity");
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the beyond-the-paper validation studies:
+//! live rollback execution and the split-supply topology comparison.
+
+use vsmooth::chip::{split_vs_connected, Chip, ChipConfig, Fidelity};
+use vsmooth::pdn::DecapConfig;
+use vsmooth::uarch::{IdleLoop, StallEvent, StimulusSource};
+use vsmooth::workload::by_name;
+
+#[test]
+fn live_recovery_slows_down_more_at_tighter_margins() {
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc3());
+    let w = by_name("458.sjeng").unwrap();
+    let run = |margin: f64| {
+        let mut chip = Chip::new(cfg.clone()).unwrap();
+        let mut s = w.stream(0, 3_000);
+        let mut idle = IdleLoop::default();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        chip.run_resilient(&mut sources, 60_000, 60_000, margin, 500).unwrap()
+    };
+    let tight = run(2.5);
+    let relaxed = run(6.0);
+    assert!(tight.emergencies >= relaxed.emergencies);
+    assert!(tight.recovery_overhead() >= relaxed.recovery_overhead());
+}
+
+#[test]
+fn live_recovery_net_improvement_has_an_interior_optimum_flavor() {
+    // Very tight margins drown in rollbacks; very relaxed margins give
+    // up the frequency gain: the middle should beat at least one end.
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc3());
+    let w = by_name("482.sphinx3").unwrap();
+    let net = |margin: f64| {
+        let mut chip = Chip::new(cfg.clone()).unwrap();
+        let mut s = w.stream(0, 3_000);
+        let mut idle = IdleLoop::default();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        chip.run_resilient(&mut sources, 60_000, 60_000, margin, 2_000)
+            .unwrap()
+            .net_improvement(14.0, 1.5)
+    };
+    let aggressive = net(2.0);
+    let middle = net(6.0);
+    let conservative = net(12.0);
+    assert!(
+        middle > aggressive.min(conservative),
+        "middle {middle:.3} vs aggressive {aggressive:.3} / conservative {conservative:.3}"
+    );
+}
+
+#[test]
+fn split_supply_penalty_holds_across_decap_configs() {
+    for decap in [DecapConfig::proc100(), DecapConfig::proc25()] {
+        let cfg = ChipConfig::core2_duo(decap.clone());
+        let cmp = split_vs_connected(&cfg, StallEvent::Exception, 60_000).unwrap();
+        assert!(
+            cmp.split_penalty() > 1.0,
+            "{decap}: split {:.2}% vs connected {:.2}%",
+            cmp.split_swing_pct,
+            cmp.connected_swing_pct
+        );
+    }
+}
+
+#[test]
+fn resilient_and_plain_runs_agree_when_nothing_triggers() {
+    // At a margin no droop reaches, run_resilient must behave exactly
+    // like run (same droop grid, same counters).
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+    let w = by_name("456.hmmer").unwrap();
+    let plain = {
+        let mut chip = Chip::new(cfg.clone()).unwrap();
+        let mut s = w.stream(0, Fidelity::Custom(2_000).cycles_per_interval());
+        let mut idle = IdleLoop::default();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        chip.run(&mut sources, 20_000, 20_000).unwrap()
+    };
+    let resilient = {
+        let mut chip = Chip::new(cfg).unwrap();
+        let mut s = w.stream(0, Fidelity::Custom(2_000).cycles_per_interval());
+        let mut idle = IdleLoop::default();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        chip.run_resilient(&mut sources, 20_000, 20_000, 13.9, 1_000).unwrap()
+    };
+    assert_eq!(resilient.emergencies, 0);
+    assert_eq!(plain, resilient.stats);
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the campaign-backed typical-case analysis
+//! (Figs. 7–10) at reduced scale.
+
+use vsmooth::chip::Fidelity;
+use vsmooth::experiments::{ExperimentConfig, Lab};
+
+fn lab() -> Lab {
+    Lab::new(ExperimentConfig {
+        fidelity: Fidelity::Custom(2_500),
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        benchmarks: Some(5),
+        random_batches: 10,
+    })
+}
+
+#[test]
+fn fig07_typical_case_argument_holds() {
+    let mut l = lab();
+    let d = l.fig07().unwrap();
+    // Most samples within 4% of nominal; violations are rare; droops are
+    // possible but bounded well inside the worst-case margin.
+    assert!(d.fraction_beyond_typical < 0.02, "{:.4}", d.fraction_beyond_typical);
+    assert!(d.max_droop_pct > 2.3, "deepest droop {:.1}%", d.max_droop_pct);
+    assert!(d.max_droop_pct < 14.0);
+    // The CDF median sits near the loaded operating point, not at 0.
+    let median = d.cdf.quantile(0.5).unwrap();
+    assert!((-3.0..0.0).contains(&median), "median {median:.2}%");
+}
+
+#[test]
+fn fig08_optimal_margins_relax_with_recovery_cost() {
+    let mut l = lab();
+    let sweeps = l.fig08().unwrap();
+    let optima: Vec<(f64, f64)> = sweeps.iter().map(|s| s.optimal()).collect();
+    for w in optima.windows(2) {
+        assert!(w[1].0 >= w[0].0 - 1e-9, "margins should relax: {optima:?}");
+        assert!(w[1].1 <= w[0].1 + 1e-9, "gains should shrink: {optima:?}");
+    }
+    // Gains are in the paper's 10-21% band at the cheap end.
+    assert!((0.08..0.25).contains(&optima[0].1), "peak gain {:.3}", optima[0].1);
+    // Expensive recovery has a dead zone at aggressive margins.
+    assert!(!sweeps.last().unwrap().dead_zone().is_empty());
+}
+
+#[test]
+fn fig09_future_nodes_violate_the_typical_case_more() {
+    let mut l = lab();
+    let base = l.fig07().unwrap().fraction_beyond_typical;
+    let future = l.fig09().unwrap();
+    let proc25 = &future[0];
+    let proc3 = &future[1];
+    assert!(proc25.fraction_beyond_typical > base);
+    assert!(proc3.fraction_beyond_typical > proc25.fraction_beyond_typical);
+    assert!(proc3.max_droop_pct > proc25.max_droop_pct);
+}
+
+#[test]
+fn fig10_improvement_pocket_shrinks_into_the_future() {
+    let mut l = lab();
+    let maps = l.fig10().unwrap();
+    assert_eq!(maps.len(), 3);
+    let fractions: Vec<f64> = maps.iter().map(|(_, m)| m.positive_fraction()).collect();
+    assert!(
+        fractions[2] < fractions[0],
+        "Proc3 pocket {:.2} should be smaller than Proc100 {:.2}",
+        fractions[2],
+        fractions[0]
+    );
+}
+
+#[test]
+fn fig14_phase_archetypes_behave_as_reported() {
+    // Interval droop counts need enough cycles per interval for phase
+    // contrast to beat sampling noise.
+    let mut l = Lab::new(ExperimentConfig {
+        fidelity: Fidelity::Custom(10_000),
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        benchmarks: Some(2),
+        random_batches: 5,
+    });
+    let timelines = l.fig14().unwrap();
+    assert_eq!(timelines.len(), 3);
+    let get = |name: &str| {
+        timelines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+            .unwrap()
+    };
+    let spread = |t: &[f64]| {
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let sd = (t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64).sqrt();
+        sd / mean.max(1e-9)
+    };
+    let sphinx = get("482.sphinx3");
+    let tonto = get("465.tonto");
+    // sphinx3 is flat; tonto oscillates between phases.
+    assert!(
+        spread(&tonto) > 1.5 * spread(&sphinx),
+        "tonto cv {:.2} vs sphinx cv {:.2}",
+        spread(&tonto),
+        spread(&sphinx)
+    );
+}
+
+#[test]
+fn fig15_droops_track_the_stall_ratio() {
+    let mut l = Lab::new(ExperimentConfig {
+        fidelity: Fidelity::Custom(4_000),
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        benchmarks: Some(10),
+        random_batches: 5,
+    });
+    let c = l.fig15().unwrap();
+    assert_eq!(c.rows.len(), 10);
+    assert!(c.correlation > 0.6, "correlation {:.2} (paper: 0.97)", c.correlation);
+}

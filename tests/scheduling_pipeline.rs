@@ -1,0 +1,109 @@
+//! Cross-crate integration: the Sec. IV scheduling results at reduced
+//! scale (Figs. 16–19, Tab. I).
+
+use vsmooth::chip::Fidelity;
+use vsmooth::experiments::{ExperimentConfig, Lab};
+use vsmooth::sched::Policy;
+
+fn lab() -> Lab {
+    Lab::new(ExperimentConfig {
+        fidelity: Fidelity::Custom(2_500),
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        benchmarks: Some(5),
+        random_batches: 12,
+    })
+}
+
+#[test]
+fn fig16_sliding_window_shows_interference_of_both_signs() {
+    let l = lab();
+    let sw = l.fig16().unwrap();
+    assert!(!sw.constructive_intervals().is_empty(), "co={:?} single={:?}", sw.coscheduled, sw.single);
+    assert!(!sw.destructive_intervals().is_empty(), "co={:?} single={:?}", sw.coscheduled, sw.single);
+    // Co-scheduling never turns the machine silent: both-cores-busy has
+    // at least single-core noise on average.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(mean(&sw.coscheduled) >= 0.9 * mean(&sw.single));
+}
+
+#[test]
+fn fig17_coschedule_variance_shows_room_to_schedule() {
+    let mut l = lab();
+    let rows = l.fig17().unwrap();
+    assert_eq!(rows.len(), 5);
+    for r in &rows {
+        // There is spread to exploit (the premise of scheduling)...
+        assert!(r.boxplot.max >= r.boxplot.min);
+        // ...and SPECrate sits inside each benchmark's co-schedule range.
+        assert!(r.specrate >= r.boxplot.min - 1e-9 && r.specrate <= r.boxplot.max + 1e-9);
+    }
+    // Over half the co-schedules can beat the SPECrate baseline
+    // ("in over half the co-schedules there is opportunity").
+    let below_specrate = rows.iter().filter(|r| r.boxplot.min < r.specrate).count();
+    assert!(below_specrate * 2 >= rows.len(), "{below_specrate}/{}", rows.len());
+}
+
+#[test]
+fn fig18_policies_move_in_their_designed_directions() {
+    let mut l = lab();
+    let batches = l.fig18().unwrap();
+    let find = |p: fn(&Policy) -> bool| {
+        batches.iter().find(|b| p(&b.policy)).expect("policy present")
+    };
+    let droop = find(|p| matches!(p, Policy::Droop));
+    let ipc = find(|p| matches!(p, Policy::Ipc));
+    let randoms: Vec<_> =
+        batches.iter().filter(|b| matches!(b.policy, Policy::Random { .. })).collect();
+    let rand_droops =
+        randoms.iter().map(|b| b.normalized_droops).sum::<f64>() / randoms.len() as f64;
+    let rand_ipc = randoms.iter().map(|b| b.normalized_ipc).sum::<f64>() / randoms.len() as f64;
+    // Droop policy is the quietest; IPC policy is the fastest.
+    assert!(droop.normalized_droops <= rand_droops + 1e-9);
+    assert!(droop.normalized_droops <= ipc.normalized_droops + 1e-9);
+    assert!(ipc.normalized_ipc >= rand_ipc - 1e-9);
+}
+
+#[test]
+fn fig19_droop_scheduling_dominates_ipc_at_coarse_recovery() {
+    let mut l = lab();
+    let f = l.fig19().unwrap();
+    assert_eq!(f.droop.len(), 6);
+    // At the coarse-recovery end, Droop passes at least as many
+    // schedules as IPC (the Fig. 19 crossover claim).
+    for (d, i) in f.droop.iter().zip(&f.ipc).skip(2) {
+        assert!(
+            d.scheduled_passing >= i.scheduled_passing,
+            "cost {}: droop {} < ipc {}",
+            d.recovery_cost,
+            d.scheduled_passing,
+            i.scheduled_passing
+        );
+    }
+}
+
+#[test]
+fn tab01_margins_relax_and_gains_shrink_with_cost() {
+    let mut l = lab();
+    let rows = l.tab01().unwrap();
+    assert_eq!(rows.len(), 6);
+    for w in rows.windows(2) {
+        assert!(w[1].optimal_margin_pct >= w[0].optimal_margin_pct - 1e-9);
+        assert!(w[1].expected_improvement <= w[0].expected_improvement + 1e-9);
+    }
+    // Cheap recovery passes (nearly) everything.
+    assert!(rows[0].passing >= 4, "passing {}", rows[0].passing);
+}
+
+#[test]
+fn online_scheduler_is_competitive_with_the_oracle() {
+    use vsmooth::chip::ChipConfig;
+    use vsmooth::pdn::DecapConfig;
+    use vsmooth::sched::{compare_online_scheduling, PairOracle};
+    use vsmooth::workload::spec2006;
+
+    let chip = ChipConfig::core2_duo(DecapConfig::proc3());
+    let pool: Vec<_> = spec2006().into_iter().take(5).collect();
+    let oracle = PairOracle::measure(&chip, Fidelity::Custom(2_000), &pool, 4).unwrap();
+    let cmp = compare_online_scheduling(&oracle).unwrap();
+    assert!(cmp.regret < 0.3, "regret {:.3}", cmp.regret);
+}
