@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Workspace CI gate: build, test, format, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

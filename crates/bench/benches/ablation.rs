@@ -41,7 +41,10 @@ fn resonance_placement(c: &mut Criterion) {
     let chip_cfg = ChipConfig::core2_duo(DecapConfig::proc100());
     let mut swings = Vec::new();
     for (label, source) in [
-        ("BR@resonance", Microbenchmark::new(StallEvent::BranchMispredict, 1)),
+        (
+            "BR@resonance",
+            Microbenchmark::new(StallEvent::BranchMispredict, 1),
+        ),
         ("L1@34cyc", Microbenchmark::new(StallEvent::L1Miss, 1)),
     ] {
         let mut chip = Chip::new(chip_cfg.clone()).expect("chip");
@@ -49,7 +52,10 @@ fn resonance_placement(c: &mut Criterion) {
         let mut idle = vsmooth::uarch::IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut m, &mut idle];
         let stats = chip.run(&mut sources, 100_000, 100_000).expect("run");
-        println!("ablation resonance {label}: p2p {:.2}%", stats.peak_to_peak_pct());
+        println!(
+            "ablation resonance {label}: p2p {:.2}%",
+            stats.peak_to_peak_pct()
+        );
         swings.push(stats.peak_to_peak_pct());
     }
     c.bench_function("ablation_resonance_probe", |b| {
@@ -105,7 +111,8 @@ fn live_recovery_vs_analytic_model(c: &mut Criterion) {
         let mut s = w.stream(0, 10_000);
         let mut idle = vsmooth::uarch::IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
-        chip.run_resilient(&mut sources, 200_000, 200_000, margin, cost).expect("run")
+        chip.run_resilient(&mut sources, 200_000, 200_000, margin, cost)
+            .expect("run")
     };
     for (margin, cost) in [(4.5, 100u64), (4.5, 1_000), (6.0, 10_000)] {
         let r = run_live(margin, cost);
@@ -116,7 +123,9 @@ fn live_recovery_vs_analytic_model(c: &mut Criterion) {
             100.0 * r.net_improvement(14.0, 1.5)
         );
     }
-    c.bench_function("ablation_live_recovery", |b| b.iter(|| run_live(4.5, 1_000)));
+    c.bench_function("ablation_live_recovery", |b| {
+        b.iter(|| run_live(4.5, 1_000))
+    });
 }
 
 criterion_group!(

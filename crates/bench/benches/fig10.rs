@@ -7,9 +7,7 @@ fn bench(c: &mut Criterion) {
     let mut lab = vsmooth_bench::lab();
     let maps = lab.fig10().expect("fig10");
     println!("{}", vsmooth::report::fig10(&maps));
-    c.bench_function("fig10_heatmaps", |b| {
-        b.iter(|| lab.fig10().expect("fig10"))
-    });
+    c.bench_function("fig10_heatmaps", |b| b.iter(|| lab.fig10().expect("fig10")));
 }
 
 criterion_group!(benches, bench);

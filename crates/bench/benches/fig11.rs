@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     let trace = lab.fig11(20_000).expect("fig11");
     let (lo, hi) = trace
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     println!(
         "Fig. 11 — TLB trace: {} samples, p2p {:.1} mV (VRM sawtooth + overshoot spikes)",
         trace.len(),

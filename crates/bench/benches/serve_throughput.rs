@@ -1,0 +1,33 @@
+//! Times the online scheduling service end to end: 120 job submissions
+//! paired by telemetry-driven Droop onto the chip pool (prints the
+//! four-policy comparison once outside the timing loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsmooth::sched::OnlineDroop;
+use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig};
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    let reports = lab.serve_comparison(2010, 120).expect("serve comparison");
+    println!("{}", vsmooth::report::serve_comparison(&reports));
+
+    let cfg = lab.config();
+    let slice = (cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+    let mut service_cfg = ServiceConfig::new(vsmooth::chip::ChipConfig::core2_duo(
+        vsmooth::pdn::DecapConfig::proc100(),
+    ));
+    service_cfg.slice_cycles = slice;
+    let service = Service::new(service_cfg).expect("valid config");
+    let jobs = synthetic_jobs(2010, 120, slice);
+    let workers = cfg.threads;
+    c.bench_function("serve_throughput", |b| {
+        b.iter(|| {
+            service
+                .run(&jobs, &OnlineDroop, workers)
+                .expect("service run")
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

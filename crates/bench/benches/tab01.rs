@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut lab = vsmooth_bench::lab();
     println!("{}", vsmooth::report::tab01(&lab.tab01().expect("tab01")));
-    c.bench_function("tab01_specrate", |b| {
-        b.iter(|| lab.tab01().expect("tab01"))
-    });
+    c.bench_function("tab01_specrate", |b| b.iter(|| lab.tab01().expect("tab01")));
 }
 
 criterion_group!(benches, bench);

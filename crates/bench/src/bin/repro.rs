@@ -34,8 +34,14 @@ fn main() -> Result<(), VsmoothError> {
     let trace = lab.fig11(4_000)?;
     let (lo, hi) = trace
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
-    println!("Fig. 11 — TLB microbenchmark trace: {} samples, {:.1} mV p2p\n", trace.len(), (hi - lo) * 1e3);
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    println!(
+        "Fig. 11 — TLB microbenchmark trace: {} samples, {:.1} mV p2p\n",
+        trace.len(),
+        (hi - lo) * 1e3
+    );
 
     println!("Fig. 12 — single-core event swings (relative to idling OS)");
     for s in lab.fig12()? {
@@ -65,6 +71,13 @@ fn main() -> Result<(), VsmoothError> {
     println!("{}", report::fig18(&lab.fig18()?));
     println!("{}", report::fig19(&lab.fig19()?));
     println!("{}", report::tab01(&lab.tab01()?));
+
+    // Beyond the paper: the online scheduling service, one submission
+    // stream under every pairing policy.
+    println!(
+        "{}",
+        report::serve_comparison(&lab.serve_comparison(2010, 120)?)
+    );
 
     Ok(())
 }

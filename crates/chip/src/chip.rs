@@ -6,8 +6,8 @@
 //! (Sec. III-C.) The chip sums per-core current draws into the PDN
 //! model and senses the resulting die voltage every cycle.
 
-use crate::sense::{CrossingGrid, VoltageSensor};
-use crate::stats::{RunStats, PHASE_MARGIN_PCT};
+use crate::session::MeasureState;
+use crate::stats::RunStats;
 use crate::ChipError;
 use serde::{Deserialize, Serialize};
 use vsmooth_pdn::{DecapConfig, DiscreteStateSpace, LadderConfig, VrmRipple};
@@ -37,13 +37,23 @@ pub struct VrmRegulator {
 impl VrmRegulator {
     /// The LGA775 VRD 11.0-like regulator of the paper's platform.
     pub fn vrd11() -> Self {
-        Self { offset_volts: 17e-3, load_line_ohms: 0.40e-3, gain: 2e-4, current_ema: 2e-4 }
+        Self {
+            offset_volts: 17e-3,
+            load_line_ohms: 0.40e-3,
+            gain: 2e-4,
+            current_ema: 2e-4,
+        }
     }
 
     /// No DC regulation (source voltage fixed at nominal) — useful for
     /// ablations.
     pub fn none() -> Self {
-        Self { offset_volts: 0.0, load_line_ohms: 0.0, gain: 0.0, current_ema: 1e-4 }
+        Self {
+            offset_volts: 0.0,
+            load_line_ohms: 0.0,
+            gain: 0.0,
+            current_ema: 1e-4,
+        }
     }
 }
 
@@ -161,7 +171,15 @@ impl Chip {
             .steady_state(&[vs, idle_current])
             .ok_or(vsmooth_pdn::PdnError::Singular)?;
         pdn.set_state(&x0);
-        Ok(Self { cfg, cores, pdn, cycle: 0, vs, i_avg: idle_current, last_v: y0[0] })
+        Ok(Self {
+            cfg,
+            cores,
+            pdn,
+            cycle: 0,
+            vs,
+            i_avg: idle_current,
+            last_v: y0[0],
+        })
     }
 
     /// The chip configuration.
@@ -183,7 +201,7 @@ impl Chip {
     /// paper's scope shows in Fig. 11 (injecting it at the remote source
     /// node would be low-pass filtered away by the bulk capacitance and
     /// never reach the die).
-    fn step_cycle(
+    pub(crate) fn step_cycle(
         &mut self,
         sources: &mut [&mut dyn StimulusSource],
         warmup: bool,
@@ -193,7 +211,11 @@ impl Chip {
         for (core, src) in self.cores.iter_mut().zip(sources.iter_mut()) {
             // A rollback pauses the program: the stream is not advanced
             // and the core idle-gates while state is restored.
-            let stimulus = if recovery { vsmooth_uarch::CycleStimulus::Idle } else { src.next() };
+            let stimulus = if recovery {
+                vsmooth_uarch::CycleStimulus::Idle
+            } else {
+                src.next()
+            };
             total += core.tick(stimulus);
         }
         // Slow DC trim: the regulator walks the source voltage toward
@@ -210,8 +232,7 @@ impl Chip {
             // (Open-loop in voltage, so unconditionally stable.)
             let vnom = self.nominal_voltage();
             let r_path = self.cfg.pdn.total_series_resistance();
-            self.vs = (vnom - reg.offset_volts
-                + self.i_avg * (r_path - reg.load_line_ohms))
+            self.vs = (vnom - reg.offset_volts + self.i_avg * (r_path - reg.load_line_ohms))
                 .clamp(vnom * 0.9, vnom * 1.1);
         }
         let v = self.pdn.step_first(&[self.vs, total]);
@@ -254,8 +275,13 @@ impl Chip {
         trace_cycles: u64,
     ) -> Result<(RunStats, Vec<f64>), ChipError> {
         let mut trace = Vec::with_capacity(trace_cycles.min(cycles) as usize);
-        let stats =
-            self.run_inner(sources, cycles, interval_cycles, Some((&mut trace, trace_cycles)), None)?;
+        let stats = self.run_inner(
+            sources,
+            cycles,
+            interval_cycles,
+            Some((&mut trace, trace_cycles)),
+            None,
+        )?;
         Ok((stats, trace))
     }
 
@@ -278,60 +304,49 @@ impl Chip {
         sources: &mut [&mut dyn StimulusSource],
         cycles: u64,
         interval_cycles: u64,
-        mut trace: Option<(&mut Vec<f64>, u64)>,
-        mut hook: Option<&mut dyn FnMut(f64) -> crate::resilient::CycleControl>,
+        trace: Option<(&mut Vec<f64>, u64)>,
+        hook: Option<&mut dyn FnMut(f64) -> crate::resilient::CycleControl>,
     ) -> Result<RunStats, ChipError> {
-        if sources.len() != self.cores.len() {
-            return Err(ChipError::SourceCountMismatch {
-                cores: self.cores.len(),
-                sources: sources.len(),
-            });
-        }
+        self.check_sources(sources.len())?;
         if interval_cycles == 0 {
             return Err(ChipError::InvalidConfig("interval_cycles must be non-zero"));
         }
+        self.warm_up(sources);
+        let mut state = MeasureState::new(self, interval_cycles);
+        state.run(self, sources, cycles, trace, hook);
+        Ok(state.into_stats(self))
+    }
+
+    /// Validates that `count` stimulus sources match the core count.
+    pub(crate) fn check_sources(&self, count: usize) -> Result<(), ChipError> {
+        if count != self.cores.len() {
+            return Err(ChipError::SourceCountMismatch {
+                cores: self.cores.len(),
+                sources: count,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the configured warm-up and resets the performance counters
+    /// so measurement starts from the settled operating point.
+    pub(crate) fn warm_up(&mut self, sources: &mut [&mut dyn StimulusSource]) {
         for _ in 0..self.cfg.warmup_cycles {
             self.step_cycle(sources, true, false);
         }
         for core in &mut self.cores {
             core.reset_counters();
         }
-        let mut sensor = VoltageSensor::new(self.nominal_voltage());
-        let mut droops = CrossingGrid::droop_grid();
-        let mut overshoots = CrossingGrid::overshoot_grid();
-        let mut droops_per_interval = Vec::new();
-        let mut interval_start_events = 0u64;
-        let mut last_sensed = self.last_v;
-        for c in 0..cycles {
-            let recovery = match hook.as_mut() {
-                Some(h) => h(last_sensed) == crate::resilient::CycleControl::Recovery,
-                None => false,
-            };
-            let v = self.step_cycle(sources, false, recovery);
-            last_sensed = v;
-            let dev = sensor.record(v);
-            droops.observe(dev);
-            overshoots.observe(dev);
-            if let Some((buf, limit)) = trace.as_mut() {
-                if c < *limit {
-                    buf.push(v);
-                }
-            }
-            if (c + 1) % interval_cycles == 0 {
-                let now = droops.events_at(PHASE_MARGIN_PCT);
-                droops_per_interval
-                    .push((now - interval_start_events) as f64 * 1000.0 / interval_cycles as f64);
-                interval_start_events = now;
-            }
-        }
-        Ok(RunStats {
-            cycles,
-            sensor,
-            droops,
-            overshoots,
-            droops_per_interval,
-            core_counters: self.cores.iter().map(|c| *c.counters()).collect(),
-        })
+    }
+
+    /// The most recently sensed die voltage.
+    pub(crate) fn last_sensed(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Snapshot of every core's performance counters.
+    pub fn core_counters(&self) -> Vec<vsmooth_uarch::PerfCounters> {
+        self.cores.iter().map(|c| *c.counters()).collect()
     }
 }
 
@@ -354,7 +369,11 @@ mod tests {
         let ripple_pct = 100.0 * c.cfg.ripple.peak_to_peak() / c.nominal_voltage();
         assert!(stats.peak_to_peak_pct() > 0.5 * ripple_pct);
         assert!(stats.peak_to_peak_pct() < 3.0 * ripple_pct);
-        assert_eq!(stats.emergencies(2.3), 0, "idle machine must not droop past 2.3%");
+        assert_eq!(
+            stats.emergencies(2.3),
+            0,
+            "idle machine must not droop past 2.3%"
+        );
     }
 
     #[test]
@@ -364,7 +383,10 @@ mod tests {
         let mut s: Vec<&mut dyn StimulusSource> = vec![&mut a];
         assert!(matches!(
             c.run(&mut s, 100, 100),
-            Err(ChipError::SourceCountMismatch { cores: 2, sources: 1 })
+            Err(ChipError::SourceCountMismatch {
+                cores: 2,
+                sources: 1
+            })
         ));
     }
 

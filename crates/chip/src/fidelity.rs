@@ -9,12 +9,13 @@
 use serde::{Deserialize, Serialize};
 
 /// How many cycles to simulate per measurement interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Fidelity {
     /// Fast unit-test fidelity (20 k cycles/interval).
     Test,
     /// Benchmark-harness fidelity (120 k cycles/interval) — the default
     /// for regenerating the paper's figures.
+    #[default]
     Bench,
     /// High fidelity (1 M cycles/interval) for final numbers.
     Full,
@@ -43,12 +44,6 @@ impl Fidelity {
             Some(other) => other.parse::<u64>().map(Self::Custom).unwrap_or(default),
             None => default,
         }
-    }
-}
-
-impl Default for Fidelity {
-    fn default() -> Self {
-        Self::Bench
     }
 }
 

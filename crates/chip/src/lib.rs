@@ -30,10 +30,11 @@ pub mod chip;
 pub mod fidelity;
 pub mod probe;
 pub mod resilient;
-pub mod topology;
 pub mod runner;
 pub mod sense;
+pub mod session;
 pub mod stats;
+pub mod topology;
 
 pub use crate::chip::{Chip, ChipConfig};
 pub use fidelity::Fidelity;
@@ -42,9 +43,10 @@ pub use probe::{
     tlb_overshoot_trace, EmpiricalImpedancePoint, EventSwing, InterferenceMatrix,
 };
 pub use resilient::ResilientRunStats;
-pub use topology::{split_vs_connected, SupplyComparison};
 pub use runner::{run_pair, run_workload, workload_pair_intervals};
+pub use session::{ChipSession, SliceStats};
 pub use stats::{RunStats, PHASE_MARGIN_PCT};
+pub use topology::{split_vs_connected, SupplyComparison};
 
 use std::error::Error;
 use std::fmt;
@@ -71,7 +73,10 @@ impl fmt::Display for ChipError {
         match self {
             Self::InvalidConfig(msg) => write!(f, "invalid chip configuration: {msg}"),
             Self::SourceCountMismatch { cores, sources } => {
-                write!(f, "chip has {cores} cores but {sources} stimulus sources were supplied")
+                write!(
+                    f,
+                    "chip has {cores} cores but {sources} stimulus sources were supplied"
+                )
             }
             Self::Pdn(e) => write!(f, "power delivery network error: {e}"),
         }
@@ -99,7 +104,10 @@ mod tests {
 
     #[test]
     fn errors_display_and_chain() {
-        let e = ChipError::SourceCountMismatch { cores: 2, sources: 1 };
+        let e = ChipError::SourceCountMismatch {
+            cores: 2,
+            sources: 1,
+        };
         assert!(e.to_string().contains("2 cores"));
         let p: ChipError = vsmooth_pdn::PdnError::Singular.into();
         assert!(std::error::Error::source(&p).is_some());

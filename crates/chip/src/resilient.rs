@@ -146,13 +146,17 @@ mod tests {
         let mut stream = w.stream(0, 4_000);
         let mut idle = vsmooth_uarch::IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut stream, &mut idle];
-        chip.run_resilient(&mut sources, 100_000, 100_000, margin, cost).unwrap()
+        chip.run_resilient(&mut sources, 100_000, 100_000, margin, cost)
+            .unwrap()
     }
 
     #[test]
     fn emergencies_fire_and_cost_cycles() {
         let r = run_resilient_workload(PHASE_MARGIN_PCT, 100);
-        assert!(r.emergencies > 0, "expected emergencies at an aggressive margin");
+        assert!(
+            r.emergencies > 0,
+            "expected emergencies at an aggressive margin"
+        );
         assert!(r.recovery_cycles >= r.emergencies * 100 - 100);
         assert!(r.recovery_overhead() > 0.0 && r.recovery_overhead() < 1.0);
     }
@@ -196,7 +200,8 @@ mod tests {
             let mut s = w.stream(0, 4_000);
             let mut idle = vsmooth_uarch::IdleLoop::default();
             let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
-            chip.run_resilient(&mut sources, 100_000, 100_000, margin, cost).unwrap()
+            chip.run_resilient(&mut sources, 100_000, 100_000, margin, cost)
+                .unwrap()
         };
 
         assert!(live.emergencies > 0);
@@ -221,6 +226,8 @@ mod tests {
         let mut idle0 = vsmooth_uarch::IdleLoop::default();
         let mut idle1 = vsmooth_uarch::IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut idle0, &mut idle1];
-        assert!(chip.run_resilient(&mut sources, 100, 100, -1.0, 10).is_err());
+        assert!(chip
+            .run_resilient(&mut sources, 100, 100, -1.0, 10)
+            .is_err());
     }
 }

@@ -27,17 +27,21 @@ pub fn run_workload(
     match workload.threading() {
         Threading::Single => {
             let mut stream = workload.stream(0, cpi);
-            let mut idles: Vec<IdleLoop> = (1..cfg.num_cores).map(|_| IdleLoop::default()).collect();
+            let mut idles: Vec<IdleLoop> =
+                (1..cfg.num_cores).map(|_| IdleLoop::default()).collect();
             let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(cfg.num_cores);
             sources.push(&mut stream);
             sources.extend(idles.iter_mut().map(|i| i as &mut dyn StimulusSource));
             chip.run(&mut sources, total, cpi)
         }
         Threading::Multi => {
-            let mut streams: Vec<_> =
-                (0..cfg.num_cores as u64).map(|i| workload.stream(i, cpi)).collect();
-            let mut sources: Vec<&mut dyn StimulusSource> =
-                streams.iter_mut().map(|s| s as &mut dyn StimulusSource).collect();
+            let mut streams: Vec<_> = (0..cfg.num_cores as u64)
+                .map(|i| workload.stream(i, cpi))
+                .collect();
+            let mut sources: Vec<&mut dyn StimulusSource> = streams
+                .iter_mut()
+                .map(|s| s as &mut dyn StimulusSource)
+                .collect();
             chip.run(&mut sources, total, cpi)
         }
     }
@@ -59,7 +63,9 @@ pub fn run_pair(
     fidelity: Fidelity,
 ) -> Result<RunStats, ChipError> {
     if cfg.num_cores != 2 {
-        return Err(ChipError::InvalidConfig("pair runs require a two-core chip"));
+        return Err(ChipError::InvalidConfig(
+            "pair runs require a two-core chip",
+        ));
     }
     let cpi = fidelity.cycles_per_interval();
     let intervals = workload_pair_intervals(a, b);

@@ -44,12 +44,24 @@ impl CrossingGrid {
 
     /// Standard droop grid: thresholds 0.5 % … 15.25 % in 0.25 % steps.
     pub fn droop_grid() -> Self {
-        Self { lo: 0.5, step: 0.25, counts: vec![0; Self::GRID_LEN], depth: -1, sign: -1.0 }
+        Self {
+            lo: 0.5,
+            step: 0.25,
+            counts: vec![0; Self::GRID_LEN],
+            depth: -1,
+            sign: -1.0,
+        }
     }
 
     /// Standard overshoot grid over the same magnitudes.
     pub fn overshoot_grid() -> Self {
-        Self { lo: 0.5, step: 0.25, counts: vec![0; Self::GRID_LEN], depth: -1, sign: 1.0 }
+        Self {
+            lo: 0.5,
+            step: 0.25,
+            counts: vec![0; Self::GRID_LEN],
+            depth: -1,
+            sign: 1.0,
+        }
     }
 
     /// Observes one voltage sample expressed as percent deviation from
@@ -82,7 +94,9 @@ impl CrossingGrid {
 
     /// The grid thresholds in percent, ascending.
     pub fn thresholds(&self) -> Vec<f64> {
-        (0..self.counts.len()).map(|i| self.lo + self.step * i as f64).collect()
+        (0..self.counts.len())
+            .map(|i| self.lo + self.step * i as f64)
+            .collect()
     }
 
     /// Merges event counts from another grid with identical layout.
@@ -116,8 +130,15 @@ impl VoltageSensor {
     ///
     /// Panics if `nominal` is not a positive finite voltage.
     pub fn new(nominal: f64) -> Self {
-        assert!(nominal.is_finite() && nominal > 0.0, "nominal voltage must be positive");
-        Self { nominal, histogram: Histogram::new(-16.0, 10.0, 520), summary: Summary::new() }
+        assert!(
+            nominal.is_finite() && nominal > 0.0,
+            "nominal voltage must be positive"
+        );
+        Self {
+            nominal,
+            histogram: Histogram::new(-16.0, 10.0, 520),
+            summary: Summary::new(),
+        }
     }
 
     /// Nominal voltage in volts.
@@ -160,7 +181,10 @@ impl VoltageSensor {
     ///
     /// Panics if nominals differ.
     pub fn merge(&mut self, other: &VoltageSensor) {
-        assert_eq!(self.nominal, other.nominal, "cannot merge sensors with different nominals");
+        assert_eq!(
+            self.nominal, other.nominal,
+            "cannot merge sensors with different nominals"
+        );
         self.histogram.merge(&other.histogram);
         self.summary.merge(&other.summary);
     }

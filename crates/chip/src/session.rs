@@ -1,0 +1,361 @@
+//! Incremental chip execution: run a measurement in interval-sized
+//! slices instead of one shot.
+//!
+//! [`Chip::run`] simulates a whole measurement in a single call, which
+//! is the right shape for the paper's offline characterization
+//! campaigns. A scheduling *service* needs something else: it must
+//! interleave simulation with decisions — run every chip for one
+//! interval, look at the telemetry, re-pair jobs, repeat. A
+//! [`ChipSession`] owns a warmed-up [`Chip`] plus the accumulated
+//! measurement state (voltage sensor, droop/overshoot grids, interval
+//! timeline) and exposes [`ChipSession::run_slice`]; the final
+//! [`RunStats`] is identical in structure to what a one-shot run
+//! produces over the same cycles.
+
+use crate::chip::Chip;
+use crate::resilient::CycleControl;
+use crate::sense::{CrossingGrid, VoltageSensor};
+use crate::stats::{RunStats, PHASE_MARGIN_PCT};
+use crate::ChipError;
+use vsmooth_uarch::{PerfCounters, StimulusSource};
+
+/// Accumulated measurement state shared by one-shot runs and sessions.
+#[derive(Debug, Clone)]
+pub(crate) struct MeasureState {
+    sensor: VoltageSensor,
+    droops: CrossingGrid,
+    overshoots: CrossingGrid,
+    droops_per_interval: Vec<f64>,
+    interval_cycles: u64,
+    interval_start_events: u64,
+    measured_cycles: u64,
+    last_sensed: f64,
+}
+
+impl MeasureState {
+    /// Fresh state for a warmed-up chip. `interval_cycles` must be
+    /// non-zero (validated by the caller).
+    pub(crate) fn new(chip: &Chip, interval_cycles: u64) -> Self {
+        Self {
+            sensor: VoltageSensor::new(chip.nominal_voltage()),
+            droops: CrossingGrid::droop_grid(),
+            overshoots: CrossingGrid::overshoot_grid(),
+            droops_per_interval: Vec::new(),
+            interval_cycles,
+            interval_start_events: 0,
+            measured_cycles: 0,
+            last_sensed: chip.last_sensed(),
+        }
+    }
+
+    /// Advances the chip `cycles` measured cycles, updating sensor,
+    /// grids and the interval timeline. Returns the per-slice summary.
+    pub(crate) fn run(
+        &mut self,
+        chip: &mut Chip,
+        sources: &mut [&mut dyn StimulusSource],
+        cycles: u64,
+        mut trace: Option<(&mut Vec<f64>, u64)>,
+        mut hook: Option<&mut dyn FnMut(f64) -> CycleControl>,
+    ) -> SliceStats {
+        let droops_before = self.droops.events_at(PHASE_MARGIN_PCT);
+        let counters_before = chip.core_counters();
+        let mut min_dev = 0.0f64;
+        for c in 0..cycles {
+            let recovery = match hook.as_mut() {
+                Some(h) => h(self.last_sensed) == CycleControl::Recovery,
+                None => false,
+            };
+            let v = chip.step_cycle(sources, false, recovery);
+            self.last_sensed = v;
+            let dev = self.sensor.record(v);
+            min_dev = min_dev.min(dev);
+            self.droops.observe(dev);
+            self.overshoots.observe(dev);
+            if let Some((buf, limit)) = trace.as_mut() {
+                if c < *limit {
+                    buf.push(v);
+                }
+            }
+            self.measured_cycles += 1;
+            if self.measured_cycles.is_multiple_of(self.interval_cycles) {
+                let now = self.droops.events_at(PHASE_MARGIN_PCT);
+                self.droops_per_interval.push(
+                    (now - self.interval_start_events) as f64 * 1000.0
+                        / self.interval_cycles as f64,
+                );
+                self.interval_start_events = now;
+            }
+        }
+        let core_deltas = chip
+            .core_counters()
+            .iter()
+            .zip(&counters_before)
+            .map(|(now, then)| now.delta_since(then))
+            .collect();
+        SliceStats {
+            cycles,
+            droops: self.droops.events_at(PHASE_MARGIN_PCT) - droops_before,
+            max_droop_pct: -min_dev,
+            core_deltas,
+        }
+    }
+
+    /// Converts the accumulated state into the final [`RunStats`].
+    pub(crate) fn into_stats(self, chip: &Chip) -> RunStats {
+        RunStats {
+            cycles: self.measured_cycles,
+            sensor: self.sensor,
+            droops: self.droops,
+            overshoots: self.overshoots,
+            droops_per_interval: self.droops_per_interval,
+            core_counters: chip.core_counters(),
+        }
+    }
+}
+
+/// Summary of one incremental slice of execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceStats {
+    /// Measured cycles in this slice.
+    pub cycles: u64,
+    /// Droop events at the characterization margin
+    /// ([`PHASE_MARGIN_PCT`]) that *started* during this slice.
+    pub droops: u64,
+    /// Deepest droop observed in this slice, percent below nominal
+    /// (0 if the voltage never dipped below nominal).
+    pub max_droop_pct: f64,
+    /// Per-core counter deltas for this slice — the software-visible
+    /// telemetry an online scheduler samples.
+    pub core_deltas: Vec<PerfCounters>,
+}
+
+impl SliceStats {
+    /// Droop events per 1000 cycles in this slice.
+    pub fn droops_per_kilocycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.droops as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+}
+
+/// A resumable measurement: a warmed-up chip plus accumulated stats,
+/// advanced one slice at a time.
+///
+/// # Examples
+///
+/// ```
+/// use vsmooth_chip::{Chip, ChipConfig, ChipSession};
+/// use vsmooth_pdn::DecapConfig;
+/// use vsmooth_uarch::{IdleLoop, StimulusSource};
+///
+/// let chip = Chip::new(ChipConfig::core2_duo(DecapConfig::proc100()))?;
+/// let mut idle0 = IdleLoop::default();
+/// let mut idle1 = IdleLoop::default();
+/// let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut idle0, &mut idle1];
+/// let mut session = ChipSession::begin(chip, &mut warm, 5_000)?;
+/// for _ in 0..4 {
+///     let mut a = IdleLoop::default();
+///     let mut b = IdleLoop::default();
+///     let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+///     let slice = session.run_slice(&mut sources, 5_000)?;
+///     assert_eq!(slice.cycles, 5_000);
+/// }
+/// let stats = session.finish();
+/// assert_eq!(stats.cycles, 20_000);
+/// assert_eq!(stats.droops_per_interval.len(), 4);
+/// # Ok::<(), vsmooth_chip::ChipError>(())
+/// ```
+#[derive(Debug)]
+pub struct ChipSession {
+    chip: Chip,
+    state: MeasureState,
+}
+
+impl ChipSession {
+    /// Warms the chip up under `warmup_sources` (its configured warm-up
+    /// cycle count), resets the performance counters and opens a
+    /// measurement with interval boundaries every `interval_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::SourceCountMismatch`] if `warmup_sources` does not
+    /// match the core count, [`ChipError::InvalidConfig`] for a zero
+    /// interval.
+    pub fn begin(
+        mut chip: Chip,
+        warmup_sources: &mut [&mut dyn StimulusSource],
+        interval_cycles: u64,
+    ) -> Result<Self, ChipError> {
+        chip.check_sources(warmup_sources.len())?;
+        if interval_cycles == 0 {
+            return Err(ChipError::InvalidConfig("interval_cycles must be non-zero"));
+        }
+        chip.warm_up(warmup_sources);
+        let state = MeasureState::new(&chip, interval_cycles);
+        Ok(Self { chip, state })
+    }
+
+    /// Runs one slice of `cycles` measured cycles under `sources`.
+    ///
+    /// Sources may differ between slices (that is the point: the
+    /// service re-pairs jobs at slice boundaries); only the count must
+    /// match the core count.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::SourceCountMismatch`] on a source/core mismatch.
+    pub fn run_slice(
+        &mut self,
+        sources: &mut [&mut dyn StimulusSource],
+        cycles: u64,
+    ) -> Result<SliceStats, ChipError> {
+        self.chip.check_sources(sources.len())?;
+        Ok(self.state.run(&mut self.chip, sources, cycles, None, None))
+    }
+
+    /// Measured cycles so far.
+    pub fn measured_cycles(&self) -> u64 {
+        self.state.measured_cycles
+    }
+
+    /// The interval length this session was opened with.
+    pub fn interval_cycles(&self) -> u64 {
+        self.state.interval_cycles
+    }
+
+    /// The underlying chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// A snapshot of the accumulated statistics without ending the
+    /// session.
+    pub fn stats(&self) -> RunStats {
+        self.state.clone().into_stats(&self.chip)
+    }
+
+    /// Ends the session, yielding the accumulated statistics.
+    pub fn finish(self) -> RunStats {
+        self.state.into_stats(&self.chip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipConfig;
+    use vsmooth_pdn::DecapConfig;
+    use vsmooth_uarch::{FixedIntensity, IdleLoop};
+    use vsmooth_workload::by_name;
+
+    fn chip() -> Chip {
+        Chip::new(ChipConfig::core2_duo(DecapConfig::proc100())).unwrap()
+    }
+
+    fn idle_pair() -> (IdleLoop, IdleLoop) {
+        (IdleLoop::default(), IdleLoop::default())
+    }
+
+    #[test]
+    fn sliced_run_matches_one_shot_run() {
+        // The same workload through run() and through four slices must
+        // produce identical statistics: the session is a pure refactor
+        // of the one-shot loop.
+        let w = by_name("482.sphinx3").unwrap();
+
+        let one_shot = {
+            let mut c = chip();
+            let mut s = w.stream(0, 10_000);
+            let mut idle = IdleLoop::default();
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            c.run(&mut sources, 40_000, 10_000).unwrap()
+        };
+
+        let sliced = {
+            let mut s = w.stream(0, 10_000);
+            let mut idle = IdleLoop::default();
+            let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            let mut session = ChipSession::begin(chip(), &mut warm, 10_000).unwrap();
+            for _ in 0..4 {
+                let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+                session.run_slice(&mut sources, 10_000).unwrap();
+            }
+            session.finish()
+        };
+
+        assert_eq!(one_shot.cycles, sliced.cycles);
+        assert_eq!(one_shot.droops, sliced.droops);
+        assert_eq!(one_shot.overshoots, sliced.overshoots);
+        assert_eq!(one_shot.droops_per_interval, sliced.droops_per_interval);
+        assert_eq!(one_shot.sensor, sliced.sensor);
+        assert_eq!(one_shot.core_counters, sliced.core_counters);
+    }
+
+    #[test]
+    fn slice_droops_sum_to_total() {
+        let w = by_name("473.astar").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        let mut slice_droops = 0;
+        for _ in 0..6 {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            slice_droops += session.run_slice(&mut sources, 5_000).unwrap().droops;
+        }
+        let stats = session.finish();
+        assert_eq!(stats.emergencies(PHASE_MARGIN_PCT), slice_droops);
+    }
+
+    #[test]
+    fn slice_core_deltas_sum_to_final_counters() {
+        let (mut a, mut b) = idle_pair();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let mut session = ChipSession::begin(chip(), &mut warm, 4_000).unwrap();
+        let mut merged = vec![PerfCounters::new(); 2];
+        for _ in 0..3 {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+            let slice = session.run_slice(&mut sources, 4_000).unwrap();
+            for (m, d) in merged.iter_mut().zip(&slice.core_deltas) {
+                m.merge(d);
+            }
+        }
+        let stats = session.finish();
+        assert_eq!(merged, stats.core_counters);
+    }
+
+    #[test]
+    fn sources_can_change_between_slices() {
+        let (mut a, mut b) = idle_pair();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let mut session = ChipSession::begin(chip(), &mut warm, 2_000).unwrap();
+        {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+            session.run_slice(&mut sources, 2_000).unwrap();
+        }
+        // Swap in a hot job on core 0 mid-measurement.
+        let mut busy = FixedIntensity::new(0.9);
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut busy, &mut b];
+        let slice = session.run_slice(&mut sources, 2_000).unwrap();
+        assert_eq!(session.measured_cycles(), 4_000);
+        assert!(slice.core_deltas[0].ipc() > 0.0);
+    }
+
+    #[test]
+    fn invalid_sessions_are_rejected() {
+        let (mut a, _) = idle_pair();
+        let mut one: Vec<&mut dyn StimulusSource> = vec![&mut a];
+        assert!(matches!(
+            ChipSession::begin(chip(), &mut one, 1_000),
+            Err(ChipError::SourceCountMismatch { .. })
+        ));
+
+        let (mut a, mut b) = idle_pair();
+        let mut two: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        assert!(ChipSession::begin(chip(), &mut two, 0).is_err());
+    }
+}

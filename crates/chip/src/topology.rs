@@ -47,7 +47,11 @@ fn split_rail(pdn: &LadderConfig) -> Result<LadderConfig, ChipError> {
             shunt_esr: s.shunt_esr * 2.0,
         })
         .collect();
-    Ok(LadderConfig::new(format!("{}/split", pdn.name()), stages, pdn.nominal_voltage())?)
+    Ok(LadderConfig::new(
+        format!("{}/split", pdn.name()),
+        stages,
+        pdn.nominal_voltage(),
+    )?)
 }
 
 /// Measures the same per-core workload (the event's microbenchmark on
@@ -62,7 +66,9 @@ pub fn split_vs_connected(
     cycles: u64,
 ) -> Result<SupplyComparison, ChipError> {
     if cfg.num_cores != 2 {
-        return Err(ChipError::InvalidConfig("split-supply study expects two cores"));
+        return Err(ChipError::InvalidConfig(
+            "split-supply study expects two cores",
+        ));
     }
     // Connected: both cores on the shared rail.
     let connected = {
@@ -83,7 +89,11 @@ pub fn split_vs_connected(
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut m0];
         chip.run(&mut sources, cycles, cycles)?.peak_to_peak_pct()
     };
-    Ok(SupplyComparison { event, connected_swing_pct: connected, split_swing_pct: split })
+    Ok(SupplyComparison {
+        event,
+        connected_swing_pct: connected,
+        split_swing_pct: split,
+    })
 }
 
 #[cfg(test)]

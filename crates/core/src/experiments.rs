@@ -53,7 +53,9 @@ impl ExperimentConfig {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Lazily-computed shared measurements plus the per-figure runners.
@@ -77,7 +79,11 @@ fn decap_slot(decap: &DecapConfig) -> usize {
 impl Lab {
     /// Creates a lab with nothing measured yet.
     pub fn new(cfg: ExperimentConfig) -> Self {
-        Self { cfg, campaigns: [None, None, None], oracle: None }
+        Self {
+            cfg,
+            campaigns: [None, None, None],
+            oracle: None,
+        }
     }
 
     /// The lab's configuration.
@@ -171,7 +177,11 @@ impl Lab {
         let chip = self.chip(DecapConfig::proc100());
         let empirical =
             vsmooth_chip::empirical_impedance(&chip, &[1860, 416, 104, 64, 32, 16, 8, 4])?;
-        Ok(Fig04 { full, reduced, empirical })
+        Ok(Fig04 {
+            full,
+            reduced,
+            empirical,
+        })
     }
 
     /// Fig. 5m–r: reset-response waveforms per decap configuration
@@ -207,7 +217,10 @@ impl Lab {
     ///
     /// Propagates chip errors.
     pub fn fig11(&self, cycles: u64) -> Result<Vec<f64>, VsmoothError> {
-        Ok(vsmooth_chip::tlb_overshoot_trace(&self.chip(DecapConfig::proc100()), cycles)?)
+        Ok(vsmooth_chip::tlb_overshoot_trace(
+            &self.chip(DecapConfig::proc100()),
+            cycles,
+        )?)
     }
 
     /// Fig. 12: single-core event swings relative to idle.
@@ -216,7 +229,9 @@ impl Lab {
     ///
     /// Propagates chip errors.
     pub fn fig12(&self) -> Result<Vec<vsmooth_chip::EventSwing>, VsmoothError> {
-        Ok(vsmooth_chip::single_core_event_swings(&self.chip(DecapConfig::proc100()))?)
+        Ok(vsmooth_chip::single_core_event_swings(
+            &self.chip(DecapConfig::proc100()),
+        )?)
     }
 
     /// Fig. 13: the cross-core event interference matrix.
@@ -225,7 +240,9 @@ impl Lab {
     ///
     /// Propagates chip errors.
     pub fn fig13(&self) -> Result<vsmooth_chip::InterferenceMatrix, VsmoothError> {
-        Ok(vsmooth_chip::interference_matrix(&self.chip(DecapConfig::proc100()))?)
+        Ok(vsmooth_chip::interference_matrix(
+            &self.chip(DecapConfig::proc100()),
+        )?)
     }
 
     /// Fig. 16: the astar × astar sliding-window experiment (on Proc3,
@@ -256,7 +273,10 @@ impl Lab {
     /// Propagates campaign errors.
     pub fn fig07(&mut self) -> Result<SampleDistribution, VsmoothError> {
         let campaign = self.campaign(DecapConfig::proc100())?;
-        Ok(SampleDistribution::from_campaign(campaign, DecapConfig::proc100()))
+        Ok(SampleDistribution::from_campaign(
+            campaign,
+            DecapConfig::proc100(),
+        ))
     }
 
     /// Fig. 8: mean performance improvement vs. margin per recovery
@@ -294,7 +314,11 @@ impl Lab {
     /// Propagates campaign errors.
     pub fn fig10(&mut self) -> Result<Vec<(DecapConfig, ImprovementHeatmap)>, VsmoothError> {
         let mut out = Vec::with_capacity(3);
-        for decap in [DecapConfig::proc100(), DecapConfig::proc25(), DecapConfig::proc3()] {
+        for decap in [
+            DecapConfig::proc100(),
+            DecapConfig::proc25(),
+            DecapConfig::proc3(),
+        ] {
             let campaign = self.campaign(decap.clone())?;
             let map = ImprovementHeatmap::compute(
                 &campaign.all_stats(),
@@ -452,6 +476,49 @@ impl Lab {
             oracle,
             &vsmooth_resilience::RECOVERY_COSTS,
         ))
+    }
+
+    /// The online-service extension (beyond the paper's offline oracle
+    /// study): runs the same synthetic submission stream through
+    /// `vsmooth-serve` under each pairing policy — telemetry-driven
+    /// Droop and IPC, the random control, and the SPECrate-style
+    /// same-workload baseline — and returns one report per policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors.
+    pub fn serve_comparison(
+        &self,
+        seed: u64,
+        jobs: usize,
+    ) -> Result<Vec<vsmooth_serve::ServiceReport>, VsmoothError> {
+        use vsmooth_sched::{OnlineDroop, OnlineIpc, PairPolicy, RandomPairing, SameWorkload};
+        use vsmooth_serve::{synthetic_jobs, Service, ServiceConfig};
+
+        // A quantum well below the figure-regeneration interval keeps
+        // the service re-pairing often enough for telemetry to matter.
+        let slice = (self.cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+        let mut cfg = ServiceConfig::new(self.chip(DecapConfig::proc100()));
+        cfg.slice_cycles = slice;
+        let service = Service::new(cfg)?;
+        // Arrivals at roughly the drain rate: bursts back the queue up
+        // (so pairing has choices) without making the finish time
+        // packing-bound.
+        let stream = synthetic_jobs(seed, jobs, slice);
+        let policies: [&dyn PairPolicy; 4] = [
+            &OnlineDroop,
+            &OnlineIpc,
+            &RandomPairing { seed },
+            &SameWorkload,
+        ];
+        policies
+            .iter()
+            .map(|p| {
+                service
+                    .run(&stream, *p, self.cfg.threads)
+                    .map_err(VsmoothError::from)
+            })
+            .collect()
     }
 }
 

@@ -47,20 +47,22 @@
 pub mod experiments;
 pub mod report;
 
-/// The power-delivery-network substrate.
-pub use vsmooth_pdn as pdn;
-/// The microarchitecture substrate.
-pub use vsmooth_uarch as uarch;
-/// The workload catalog.
-pub use vsmooth_workload as workload;
 /// The multi-core chip model.
 pub use vsmooth_chip as chip;
+/// The power-delivery-network substrate.
+pub use vsmooth_pdn as pdn;
 /// Typical-case design analysis and the measurement campaign.
 pub use vsmooth_resilience as resilience;
 /// The noise-aware thread scheduler.
 pub use vsmooth_sched as sched;
+/// The online noise-aware scheduling service.
+pub use vsmooth_serve as serve;
 /// Statistics helpers.
 pub use vsmooth_stats as stats;
+/// The microarchitecture substrate.
+pub use vsmooth_uarch as uarch;
+/// The workload catalog.
+pub use vsmooth_workload as workload;
 
 use std::error::Error;
 use std::fmt;
@@ -77,6 +79,8 @@ pub enum VsmoothError {
     Campaign(vsmooth_resilience::CampaignError),
     /// Scheduling experiment failed.
     Sched(vsmooth_sched::SchedError),
+    /// The scheduling service failed.
+    Serve(vsmooth_serve::ServeError),
 }
 
 impl fmt::Display for VsmoothError {
@@ -86,6 +90,7 @@ impl fmt::Display for VsmoothError {
             Self::Chip(e) => write!(f, "chip: {e}"),
             Self::Campaign(e) => write!(f, "campaign: {e}"),
             Self::Sched(e) => write!(f, "sched: {e}"),
+            Self::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -97,6 +102,7 @@ impl Error for VsmoothError {
             Self::Chip(e) => Some(e),
             Self::Campaign(e) => Some(e),
             Self::Sched(e) => Some(e),
+            Self::Serve(e) => Some(e),
         }
     }
 }
@@ -122,6 +128,12 @@ impl From<vsmooth_resilience::CampaignError> for VsmoothError {
 impl From<vsmooth_sched::SchedError> for VsmoothError {
     fn from(e: vsmooth_sched::SchedError) -> Self {
         Self::Sched(e)
+    }
+}
+
+impl From<vsmooth_serve::ServeError> for VsmoothError {
+    fn from(e: vsmooth_serve::ServeError) -> Self {
+        Self::Serve(e)
     }
 }
 

@@ -1,9 +1,7 @@
 //! Plain-text rendering of experiment results — the "prints the same
 //! rows/series the paper reports" half of the benchmark harness.
 
-use crate::experiments::{
-    DroopVarianceRow, Fig04, Fig19, SampleDistribution, StallCorrelation,
-};
+use crate::experiments::{DroopVarianceRow, Fig04, Fig19, SampleDistribution, StallCorrelation};
 use std::fmt::Write as _;
 use vsmooth_pdn::{DecapSwing, MarginFrequencySeries, NodeSwing};
 use vsmooth_resilience::MarginSweep;
@@ -30,7 +28,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     let _ = writeln!(out, "{}", render_row(&header, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         let _ = writeln!(out, "{}", render_row(row, &widths));
     }
@@ -74,7 +76,10 @@ pub fn fig02(series: &[MarginFrequencySeries]) -> String {
     }
     format!(
         "Fig. 2 — Peak frequency vs. operating voltage margin\n{}",
-        table(&["node", "m=0%", "m=10%", "m=20%", "m=30%", "m=40%", "m=50%"], &rows)
+        table(
+            &["node", "m=0%", "m=10%", "m=20%", "m=30%", "m=40%", "m=50%"],
+            &rows
+        )
     )
 }
 
@@ -97,8 +102,14 @@ pub fn fig04(data: &Fig04) -> String {
         rp.impedance_ohms * 1e3,
         rp.frequency_hz / 1e6
     );
-    let _ = writeln!(out, "  impedance at 1 MHz, reduced/default: {ratio:.1}x (paper: ~5x)");
-    let _ = writeln!(out, "  software-loop reconstruction (empirical vs analytic):");
+    let _ = writeln!(
+        out,
+        "  impedance at 1 MHz, reduced/default: {ratio:.1}x (paper: ~5x)"
+    );
+    let _ = writeln!(
+        out,
+        "  software-loop reconstruction (empirical vs analytic):"
+    );
     for p in &data.empirical {
         let analytic = data.full.at(p.frequency_hz);
         let _ = writeln!(
@@ -133,11 +144,7 @@ pub fn fig06(rows: &[DecapSwing]) -> String {
 /// Fig. 7 / Fig. 9 report.
 pub fn sample_distribution(d: &SampleDistribution) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} sample distribution over {} runs:",
-        d.decap, d.runs
-    );
+    let _ = writeln!(out, "{} sample distribution over {} runs:", d.decap, d.runs);
     let _ = writeln!(out, "  max droop     {:.1}%", d.max_droop_pct);
     let _ = writeln!(out, "  max overshoot {:.1}%", d.max_overshoot_pct);
     let _ = writeln!(
@@ -174,12 +181,20 @@ pub fn fig08(sweeps: &[MarginSweep]) -> String {
         .collect();
     format!(
         "Fig. 8 — Typical-case improvement vs. margin (Proc100)\n{}",
-        table(&["recovery", "optimal margin", "peak gain", "dead zone"], &body)
+        table(
+            &["recovery", "optimal margin", "peak gain", "dead zone"],
+            &body
+        )
     )
 }
 
 /// Fig. 10 report.
-pub fn fig10(maps: &[(vsmooth_pdn::DecapConfig, vsmooth_resilience::ImprovementHeatmap)]) -> String {
+pub fn fig10(
+    maps: &[(
+        vsmooth_pdn::DecapConfig,
+        vsmooth_resilience::ImprovementHeatmap,
+    )],
+) -> String {
     let body: Vec<Vec<String>> = maps
         .iter()
         .map(|(d, m)| {
@@ -229,13 +244,25 @@ pub fn fig15(c: &StallCorrelation) -> String {
 /// Fig. 16 report.
 pub fn fig16(sw: &SlidingWindow) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 16 — Sliding window: {} under restarting {}", sw.program_x, sw.program_y);
+    let _ = writeln!(
+        out,
+        "Fig. 16 — Sliding window: {} under restarting {}",
+        sw.program_x, sw.program_y
+    );
     let s: Vec<String> = sw.single.iter().map(|v| format!("{v:.0}")).collect();
     let c: Vec<String> = sw.coscheduled.iter().map(|v| format!("{v:.0}")).collect();
     let _ = writeln!(out, "  single-core : [{}]", s.join(" "));
     let _ = writeln!(out, "  co-scheduled: [{}]", c.join(" "));
-    let _ = writeln!(out, "  constructive intervals: {:?}", sw.constructive_intervals());
-    let _ = writeln!(out, "  destructive  intervals: {:?}", sw.destructive_intervals());
+    let _ = writeln!(
+        out,
+        "  constructive intervals: {:?}",
+        sw.constructive_intervals()
+    );
+    let _ = writeln!(
+        out,
+        "  destructive  intervals: {:?}",
+        sw.destructive_intervals()
+    );
     out
 }
 
@@ -256,7 +283,10 @@ pub fn fig17(rows: &[DroopVarianceRow]) -> String {
         .collect();
     format!(
         "Fig. 17 — Droop variance across co-schedules (droops/1k)\n{}",
-        table(&["benchmark", "min", "median", "max", "single", "SPECrate"], &body)
+        table(
+            &["benchmark", "min", "median", "max", "single", "SPECrate"],
+            &body
+        )
     )
 }
 
@@ -282,7 +312,9 @@ pub fn fig18(batches: &[BatchSchedule]) -> String {
     summary("Random", &|b| matches!(b.policy, Policy::Random { .. }));
     summary("IPC", &|b| matches!(b.policy, Policy::Ipc));
     summary("Droop", &|b| matches!(b.policy, Policy::Droop));
-    summary("IPC/Droop^n", &|b| matches!(b.policy, Policy::IpcOverDroopN { .. }));
+    summary("IPC/Droop^n", &|b| {
+        matches!(b.policy, Policy::IpcOverDroopN { .. })
+    });
     out
 }
 
@@ -322,7 +354,48 @@ pub fn tab01(rows: &[SpecrateRow]) -> String {
         .collect();
     format!(
         "Tab. I — SPECrate typical-case analysis at optimal margins (Proc3)\n{}",
-        table(&["recovery (cycles)", "optimal margin (%)", "expected improvement (%)", "# passing"], &body)
+        table(
+            &[
+                "recovery (cycles)",
+                "optimal margin (%)",
+                "expected improvement (%)",
+                "# passing"
+            ],
+            &body
+        )
+    )
+}
+
+/// Side-by-side report of the online service policy comparison.
+pub fn serve_comparison(reports: &[vsmooth_serve::ServiceReport]) -> String {
+    let body: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{}", r.jobs_completed),
+                format!("{:.4}", r.droops_per_kilocycle),
+                format!("{:.3}", r.throughput_jobs_per_mcycle),
+                format!("{:.0}", r.mean_queue_wait_cycles),
+                format!("{:.1}", 100.0 * r.chip_utilization),
+                format!("{:.3}", r.mean_ipc),
+            ]
+        })
+        .collect();
+    format!(
+        "vsmooth-serve — online scheduling policies on one submission stream\n{}",
+        table(
+            &[
+                "policy",
+                "jobs",
+                "droops/1k",
+                "jobs/Mcycle",
+                "mean wait",
+                "util (%)",
+                "mean IPC",
+            ],
+            &body,
+        )
     )
 }
 
@@ -332,7 +405,13 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(&["a", "bb"], &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]]);
+        let t = table(
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains('a') && lines[0].contains("bb"));

@@ -28,9 +28,18 @@ impl CapacitorBank {
 /// The fully populated land-side inventory (Fig. 5g): a mix of 22 µF,
 /// 2.2 µF and 1 µF parts.
 pub const FULL_INVENTORY: [CapacitorBank; 3] = [
-    CapacitorBank { value: 22.0e-6, count: 8 },
-    CapacitorBank { value: 2.2e-6, count: 8 },
-    CapacitorBank { value: 1.0e-6, count: 6 },
+    CapacitorBank {
+        value: 22.0e-6,
+        count: 8,
+    },
+    CapacitorBank {
+        value: 2.2e-6,
+        count: 8,
+    },
+    CapacitorBank {
+        value: 1.0e-6,
+        count: 6,
+    },
 ];
 
 /// A package-decap retention level, identified the way the paper names
@@ -173,7 +182,9 @@ mod tests {
         let sweep = DecapConfig::sweep();
         assert_eq!(sweep.len(), 6);
         for w in sweep.windows(2) {
-            assert!(w[0].fraction_retained() > w[1].fraction_retained() || w[1].percent_retained() == 0);
+            assert!(
+                w[0].fraction_retained() > w[1].fraction_retained() || w[1].percent_retained() == 0
+            );
             assert!(w[0].total_capacitance() >= w[1].total_capacitance());
         }
     }

@@ -47,10 +47,11 @@ impl ImpedanceProfile {
             let omega = 2.0 * std::f64::consts::PI * f;
             // Input 1 is the load current; the response is a droop, so the
             // impedance is the magnitude of the (negative) gain.
-            let g = sys
-                .frequency_response(omega, 1)
-                .ok_or(PdnError::Singular)?;
-            points.push(ImpedancePoint { frequency_hz: f, impedance_ohms: g[0].abs() });
+            let g = sys.frequency_response(omega, 1).ok_or(PdnError::Singular)?;
+            points.push(ImpedancePoint {
+                frequency_hz: f,
+                impedance_ohms: g[0].abs(),
+            });
         }
         Ok(Self { points })
     }
@@ -70,7 +71,11 @@ impl ImpedanceProfile {
         *self
             .points
             .iter()
-            .max_by(|a, b| a.impedance_ohms.partial_cmp(&b.impedance_ohms).expect("finite"))
+            .max_by(|a, b| {
+                a.impedance_ohms
+                    .partial_cmp(&b.impedance_ohms)
+                    .expect("finite")
+            })
             .expect("impedance profile is never empty")
     }
 
@@ -95,7 +100,11 @@ impl ImpedanceProfile {
             .iter()
             .map(|p| ImpedancePoint {
                 frequency_hz: p.frequency_hz,
-                impedance_ohms: if z_ref > 0.0 { p.impedance_ohms / z_ref } else { 0.0 },
+                impedance_ohms: if z_ref > 0.0 {
+                    p.impedance_ohms / z_ref
+                } else {
+                    0.0
+                },
             })
             .collect()
     }
@@ -139,7 +148,10 @@ mod tests {
         let full = profile(DecapConfig::proc100());
         let cut = profile(DecapConfig::proc3());
         let ratio = cut.at(1e6) / full.at(1e6);
-        assert!(ratio > 3.0, "1 MHz impedance ratio = {ratio:.2} (expected > 3x)");
+        assert!(
+            ratio > 3.0,
+            "1 MHz impedance ratio = {ratio:.2} (expected > 3x)"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl LadderStage {
             ("shunt_esr", self.shunt_esr),
         ] {
             if !v.is_finite() || v <= 0.0 {
-                return Err(PdnError::InvalidElement { element: name, value: v });
+                return Err(PdnError::InvalidElement {
+                    element: name,
+                    value: v,
+                });
             }
         }
         Ok(())
@@ -104,12 +107,20 @@ impl LadderConfig {
             return Err(PdnError::EmptyLadder);
         }
         if !nominal_voltage.is_finite() || nominal_voltage <= 0.0 {
-            return Err(PdnError::InvalidElement { element: "nominal_voltage", value: nominal_voltage });
+            return Err(PdnError::InvalidElement {
+                element: "nominal_voltage",
+                value: nominal_voltage,
+            });
         }
         for s in &stages {
             s.validate()?;
         }
-        Ok(Self { name: name.into(), stages, nominal_voltage, decap: DecapConfig::proc100() })
+        Ok(Self {
+            name: name.into(),
+            stages,
+            nominal_voltage,
+            decap: DecapConfig::proc100(),
+        })
     }
 
     /// Four-stage model of the Core 2 Duo (E6300) power delivery path
@@ -133,7 +144,12 @@ impl LadderConfig {
         // inverse proportion to what is left.
         let pkg = DecapConfig::TOTAL_PACKAGE_CAPACITANCE;
         let stages = vec![
-            LadderStage { series_r: 0.6e-3, series_l: 2.0e-9, shunt_c: 4.0e-3, shunt_esr: 0.30e-3 },
+            LadderStage {
+                series_r: 0.6e-3,
+                series_l: 2.0e-9,
+                shunt_c: 4.0e-3,
+                shunt_esr: 0.30e-3,
+            },
             LadderStage {
                 series_r: 0.35e-3,
                 series_l: 0.6e-9,
@@ -146,7 +162,12 @@ impl LadderConfig {
                 shunt_c: pkg * frac,
                 shunt_esr: 0.45e-3 / frac,
             },
-            LadderStage { series_r: 0.70e-3, series_l: 3.5e-12, shunt_c: 500.0e-9, shunt_esr: 0.55e-3 },
+            LadderStage {
+                series_r: 0.70e-3,
+                series_l: 3.5e-12,
+                shunt_c: 500.0e-9,
+                shunt_esr: 0.55e-3,
+            },
         ];
         Self {
             name: format!("Core2Duo/{decap}"),
@@ -161,9 +182,24 @@ impl LadderConfig {
     /// supply voltage.
     pub fn pentium4_package(vdd: f64) -> Self {
         let stages = vec![
-            LadderStage { series_r: 0.8e-3, series_l: 2.5e-9, shunt_c: 3.0e-3, shunt_esr: 0.35e-3 },
-            LadderStage { series_r: 0.6e-3, series_l: 0.6e-9, shunt_c: 150.0e-6, shunt_esr: 0.45e-3 },
-            LadderStage { series_r: 0.45e-3, series_l: 4.0e-12, shunt_c: 400.0e-9, shunt_esr: 0.40e-3 },
+            LadderStage {
+                series_r: 0.8e-3,
+                series_l: 2.5e-9,
+                shunt_c: 3.0e-3,
+                shunt_esr: 0.35e-3,
+            },
+            LadderStage {
+                series_r: 0.6e-3,
+                series_l: 0.6e-9,
+                shunt_c: 150.0e-6,
+                shunt_esr: 0.45e-3,
+            },
+            LadderStage {
+                series_r: 0.45e-3,
+                series_l: 4.0e-12,
+                shunt_c: 400.0e-9,
+                shunt_esr: 0.40e-3,
+            },
         ];
         Self {
             name: format!("Pentium4@{vdd}V"),
@@ -223,7 +259,7 @@ impl LadderConfig {
         for k in 0..n {
             let st = self.stages[k];
             let row = k; // d i_k / dt
-            // Upstream node voltage: V_s for k == 0, else vn_{k-1}.
+                         // Upstream node voltage: V_s for k == 0, else vn_{k-1}.
             if k == 0 {
                 b[(row, 0)] = 1.0 / st.series_l;
             } else {
@@ -271,7 +307,9 @@ mod tests {
 
     #[test]
     fn core2_state_space_dimensions() {
-        let sys = LadderConfig::core2_duo(DecapConfig::proc100()).state_space().unwrap();
+        let sys = LadderConfig::core2_duo(DecapConfig::proc100())
+            .state_space()
+            .unwrap();
         assert_eq!(sys.state_dim(), 8);
         assert_eq!(sys.input_dim(), 2);
         assert_eq!(sys.output_dim(), 1);
@@ -285,7 +323,12 @@ mod tests {
         let i_load = 20.0;
         let (_, y) = sys.steady_state(&[vs, i_load]).unwrap();
         let expect = vs - i_load * cfg.total_series_resistance();
-        assert!((y[0] - expect).abs() < 1e-9, "v_die={} expect={}", y[0], expect);
+        assert!(
+            (y[0] - expect).abs() < 1e-9,
+            "v_die={} expect={}",
+            y[0],
+            expect
+        );
     }
 
     #[test]
@@ -298,14 +341,28 @@ mod tests {
 
     #[test]
     fn invalid_stage_is_rejected() {
-        let bad = LadderStage { series_r: 1e-3, series_l: 0.0, shunt_c: 1e-6, shunt_esr: 1e-3 };
-        assert!(matches!(bad.validate(), Err(PdnError::InvalidElement { element: "series_l", .. })));
+        let bad = LadderStage {
+            series_r: 1e-3,
+            series_l: 0.0,
+            shunt_c: 1e-6,
+            shunt_esr: 1e-3,
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(PdnError::InvalidElement {
+                element: "series_l",
+                ..
+            })
+        ));
         assert!(LadderConfig::new("bad", vec![bad], 1.0).is_err());
     }
 
     #[test]
     fn empty_ladder_is_rejected() {
-        assert!(matches!(LadderConfig::new("empty", vec![], 1.0), Err(PdnError::EmptyLadder)));
+        assert!(matches!(
+            LadderConfig::new("empty", vec![], 1.0),
+            Err(PdnError::EmptyLadder)
+        ));
     }
 
     #[test]

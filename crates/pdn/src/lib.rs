@@ -106,11 +106,16 @@ mod tests {
 
     #[test]
     fn errors_display_meaningfully() {
-        let e = PdnError::InvalidElement { element: "shunt_c", value: -1.0 };
+        let e = PdnError::InvalidElement {
+            element: "shunt_c",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("shunt_c"));
         assert!(PdnError::EmptyLadder.to_string().contains("stage"));
         assert!(PdnError::Singular.to_string().contains("singular"));
-        assert!(PdnError::InvalidFrequencyRange { lo: 2.0, hi: 1.0 }.to_string().contains("range"));
+        assert!(PdnError::InvalidFrequencyRange { lo: 2.0, hi: 1.0 }
+            .to_string()
+            .contains("range"));
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Mat {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -75,16 +79,10 @@ impl Mat {
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
-        let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            y[r] = acc;
-        }
-        y
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Returns `self` scaled by `k`.
@@ -216,7 +214,11 @@ impl Add<&Mat> for &Mat {
     type Output = Mat;
 
     fn add(self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&rhs.data) {
             *a += b;
@@ -229,7 +231,11 @@ impl Sub<&Mat> for &Mat {
     type Output = Mat;
 
     fn sub(self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         let mut out = self.clone();
         for (a, b) in out.data.iter_mut().zip(&rhs.data) {
             *a -= b;
@@ -320,7 +326,10 @@ impl Mul for Cpx {
     type Output = Cpx;
 
     fn mul(self, r: Cpx) -> Cpx {
-        Cpx::new(self.re * r.re - self.im * r.im, self.re * r.im + self.im * r.re)
+        Cpx::new(
+            self.re * r.re - self.im * r.im,
+            self.re * r.im + self.im * r.re,
+        )
     }
 }
 
@@ -329,7 +338,10 @@ impl std::ops::Div for Cpx {
 
     fn div(self, r: Cpx) -> Cpx {
         let d = r.re * r.re + r.im * r.im;
-        Cpx::new((self.re * r.re + self.im * r.im) / d, (self.im * r.re - self.re * r.im) / d)
+        Cpx::new(
+            (self.re * r.re + self.im * r.im) / d,
+            (self.im * r.re - self.re * r.im) / d,
+        )
     }
 }
 

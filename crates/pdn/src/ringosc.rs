@@ -54,7 +54,12 @@ impl RingOscillator {
             TechNode::N16 => 0.31,
             TechNode::N11 => 0.29,
         };
-        Self { stages: 11, vdd: node.vdd(), vth, alpha: 1.3 }
+        Self {
+            stages: 11,
+            vdd: node.vdd(),
+            vth,
+            alpha: 1.3,
+        }
     }
 
     /// Oscillation frequency (arbitrary units) at supply `v`.
@@ -122,7 +127,10 @@ mod tests {
         // translates to ~25% loss in peak clock frequency".
         let ro = RingOscillator::for_node(TechNode::N45);
         let loss = 100.0 - ro.peak_frequency_pct(20.0);
-        assert!((18.0..32.0).contains(&loss), "loss at 20% margin = {loss:.1}%");
+        assert!(
+            (18.0..32.0).contains(&loss),
+            "loss at 20% margin = {loss:.1}%"
+        );
     }
 
     #[test]

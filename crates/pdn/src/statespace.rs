@@ -87,14 +87,15 @@ impl StateSpace {
         let b: Vec<Cpx> = (0..n).map(|r| Cpx::new(self.b[(r, input)], 0.0)).collect();
         let x = solve_complex(n, &m, &b)?;
         let p = self.output_dim();
-        let mut out = vec![Cpx::ZERO; p];
-        for r in 0..p {
-            let mut acc = Cpx::new(self.d[(r, input)], 0.0);
-            for c in 0..n {
-                acc = acc + Cpx::new(self.c[(r, c)], 0.0) * x[c];
-            }
-            out[r] = acc;
-        }
+        let out = (0..p)
+            .map(|r| {
+                let mut acc = Cpx::new(self.d[(r, input)], 0.0);
+                for (c, xc) in x.iter().enumerate() {
+                    acc = acc + Cpx::new(self.c[(r, c)], 0.0) * *xc;
+                }
+                acc
+            })
+            .collect();
         Some(out)
     }
 

@@ -32,7 +32,10 @@ impl TransientResult {
 
     /// Maximum die voltage over the run.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Peak-to-peak voltage swing in volts.
@@ -125,14 +128,15 @@ impl Default for ResetStimulus {
 impl ResetStimulus {
     /// Renders the stimulus as a per-cycle current waveform.
     pub fn waveform(&self) -> Vec<f64> {
-        let mut w =
-            Vec::with_capacity(self.idle_cycles + self.off_cycles + self.ramp_cycles + self.hold_cycles);
-        w.extend(std::iter::repeat(self.idle_current).take(self.idle_cycles));
-        w.extend(std::iter::repeat(0.0).take(self.off_cycles));
+        let mut w = Vec::with_capacity(
+            self.idle_cycles + self.off_cycles + self.ramp_cycles + self.hold_cycles,
+        );
+        w.extend(std::iter::repeat_n(self.idle_current, self.idle_cycles));
+        w.extend(std::iter::repeat_n(0.0, self.off_cycles));
         for k in 0..self.ramp_cycles {
             w.push(self.surge_current * (k + 1) as f64 / self.ramp_cycles as f64);
         }
-        w.extend(std::iter::repeat(self.surge_current).take(self.hold_cycles));
+        w.extend(std::iter::repeat_n(self.surge_current, self.hold_cycles));
         w
     }
 }
@@ -145,7 +149,11 @@ impl ResetStimulus {
 /// Propagates errors from [`simulate_current_waveform`].
 pub fn reset_response(decap: DecapConfig) -> Result<TransientResult, PdnError> {
     let cfg = LadderConfig::core2_duo(decap);
-    simulate_current_waveform(&cfg, &ResetStimulus::default().waveform(), 1.0 / CORE2_CLOCK_HZ)
+    simulate_current_waveform(
+        &cfg,
+        &ResetStimulus::default().waveform(),
+        1.0 / CORE2_CLOCK_HZ,
+    )
 }
 
 /// One row of the Fig. 6 summary: peak-to-peak reset swing relative to
@@ -172,7 +180,11 @@ pub fn decap_swing_sweep() -> Result<Vec<DecapSwing>, PdnError> {
         .into_iter()
         .map(|decap| {
             let p2p = reset_response(decap.clone())?.peak_to_peak();
-            Ok(DecapSwing { decap, peak_to_peak: p2p, relative: p2p / base })
+            Ok(DecapSwing {
+                decap,
+                peak_to_peak: p2p,
+                relative: p2p / base,
+            })
         })
         .collect()
 }
@@ -255,7 +267,10 @@ mod tests {
     fn reset_waveform_has_expected_shape() {
         let s = ResetStimulus::default();
         let w = s.waveform();
-        assert_eq!(w.len(), s.idle_cycles + s.off_cycles + s.ramp_cycles + s.hold_cycles);
+        assert_eq!(
+            w.len(),
+            s.idle_cycles + s.off_cycles + s.ramp_cycles + s.hold_cycles
+        );
         assert_eq!(w[0], s.idle_current);
         assert_eq!(w[s.idle_cycles], 0.0);
         assert_eq!(*w.last().unwrap(), s.surge_current);

@@ -36,9 +36,15 @@ impl VrmRipple {
     /// Panics if `amplitude` is negative/non-finite or `period_cycles`
     /// is zero.
     pub fn new(amplitude: f64, period_cycles: u64) -> Self {
-        assert!(amplitude.is_finite() && amplitude >= 0.0, "ripple amplitude must be >= 0");
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "ripple amplitude must be >= 0"
+        );
         assert!(period_cycles > 0, "ripple period must be non-zero");
-        Self { amplitude, period_cycles }
+        Self {
+            amplitude,
+            period_cycles,
+        }
     }
 
     /// Ripple of the E6300 platform's regulator: a few millivolts at an
@@ -51,7 +57,10 @@ impl VrmRipple {
     /// A perfectly quiet regulator (useful for isolating load effects in
     /// tests and ablations).
     pub fn none() -> Self {
-        Self { amplitude: 0.0, period_cycles: 1 }
+        Self {
+            amplitude: 0.0,
+            period_cycles: 1,
+        }
     }
 
     /// Peak amplitude in volts.
@@ -72,7 +81,11 @@ impl VrmRipple {
         let phase = (cycle % self.period_cycles) as f64 / self.period_cycles as f64;
         // Triangle: ramp from -A to +A in the first half, back down in
         // the second half.
-        let tri = if phase < 0.5 { 4.0 * phase - 1.0 } else { 3.0 - 4.0 * phase };
+        let tri = if phase < 0.5 {
+            4.0 * phase - 1.0
+        } else {
+            3.0 - 4.0 * phase
+        };
         self.amplitude * tri
     }
 
@@ -113,7 +126,9 @@ mod tests {
     fn triangle_hits_both_peaks() {
         let r = VrmRipple::new(1.0, 1000);
         let min = (0..1000).map(|c| r.offset(c)).fold(f64::INFINITY, f64::min);
-        let max = (0..1000).map(|c| r.offset(c)).fold(f64::NEG_INFINITY, f64::max);
+        let max = (0..1000)
+            .map(|c| r.offset(c))
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(min < -0.99 && max > 0.99, "min={min} max={max}");
     }
 

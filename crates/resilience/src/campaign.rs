@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
 use vsmooth_chip::{run_pair, run_workload, ChipConfig, Fidelity, RunStats};
+use vsmooth_stats::MetricsRegistry;
 use vsmooth_workload::{parsec, spec2006, Workload};
 
 /// Identifies one campaign run.
@@ -74,7 +75,11 @@ impl CampaignSpec {
                 specs.push(RunSpec::Pair(a.clone(), b.clone()));
             }
         }
-        Self { chip, fidelity, specs }
+        Self {
+            chip,
+            fidelity,
+            specs,
+        }
     }
 
     /// A reduced campaign over the first `n` CPU2006 benchmarks
@@ -90,21 +95,35 @@ impl CampaignSpec {
                 specs.push(RunSpec::Pair(a.clone(), b.clone()));
             }
         }
-        Self { chip, fidelity, specs }
+        Self {
+            chip,
+            fidelity,
+            specs,
+        }
     }
 
     /// The 29 SPECrate schedules: every benchmark paired with itself
     /// (the baseline of Sec. IV and Tab. I).
     pub fn specrate(chip: ChipConfig, fidelity: Fidelity) -> Self {
-        let specs =
-            spec2006().into_iter().map(|w| RunSpec::Pair(w.clone(), w)).collect();
-        Self { chip, fidelity, specs }
+        let specs = spec2006()
+            .into_iter()
+            .map(|w| RunSpec::Pair(w.clone(), w))
+            .collect();
+        Self {
+            chip,
+            fidelity,
+            specs,
+        }
     }
 
     /// Only the 29 single-threaded runs (Figs. 14, 15).
     pub fn singles(chip: ChipConfig, fidelity: Fidelity) -> Self {
         let specs = spec2006().into_iter().map(RunSpec::Single).collect();
-        Self { chip, fidelity, specs }
+        Self {
+            chip,
+            fidelity,
+            specs,
+        }
     }
 
     /// Number of runs in the campaign.
@@ -123,6 +142,31 @@ impl CampaignSpec {
     ///
     /// Returns the first simulation error encountered.
     pub fn run(self, threads: usize) -> Result<CampaignResult, CampaignError> {
+        self.run_instrumented(threads, None)
+    }
+
+    /// Like [`CampaignSpec::run`], but records operational telemetry
+    /// into `metrics`: run/cycle/droop counters (exact, order-free
+    /// sums, so the snapshot is identical for every thread count) plus
+    /// a droops-per-kilocycle histogram recorded at merge time in
+    /// specification order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error encountered.
+    pub fn run_with_metrics(
+        self,
+        threads: usize,
+        metrics: &MetricsRegistry,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_instrumented(threads, Some(metrics))
+    }
+
+    fn run_instrumented(
+        self,
+        threads: usize,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<CampaignResult, CampaignError> {
         let threads = threads.max(1);
         let n = self.specs.len();
         let queue: Mutex<VecDeque<(usize, RunSpec)>> =
@@ -138,14 +182,26 @@ impl CampaignSpec {
                     let Some((idx, spec)) = item else { break };
                     let id = spec.id();
                     let stats = match &spec {
-                        RunSpec::Single(w) | RunSpec::Multi(w) => {
-                            run_workload(chip, w, fidelity)
-                        }
+                        RunSpec::Single(w) | RunSpec::Multi(w) => run_workload(chip, w, fidelity),
                         RunSpec::Pair(a, b) => run_pair(chip, a, b, fidelity),
                     };
+                    if let (Some(m), Ok(stats)) = (metrics, &stats) {
+                        m.counter_add("campaign_runs_total", 1);
+                        m.counter_add("campaign_cycles_total", stats.cycles);
+                        m.counter_add(
+                            "campaign_droops_total",
+                            stats.emergencies(vsmooth_chip::PHASE_MARGIN_PCT),
+                        );
+                    }
                     let outcome = stats
-                        .map(|stats| CampaignRun { id: id.clone(), stats })
-                        .map_err(|e| CampaignError::Run { id: id.to_string(), source: e });
+                        .map(|stats| CampaignRun {
+                            id: id.clone(),
+                            stats,
+                        })
+                        .map_err(|e| CampaignError::Run {
+                            id: id.to_string(),
+                            source: e,
+                        });
                     results.lock().expect("results lock")[idx] = Some(outcome);
                 });
             }
@@ -154,6 +210,18 @@ impl CampaignSpec {
         let mut runs = Vec::with_capacity(n);
         for slot in collected {
             runs.push(slot.expect("every queued run completes")?);
+        }
+        if let Some(m) = metrics {
+            // Histogram observations happen here, after the merge, so
+            // their order (and thus the float accumulation) is the
+            // specification order regardless of thread count.
+            for run in &runs {
+                m.observe(
+                    "campaign_droops_per_kilocycle",
+                    run.stats
+                        .droops_per_kilocycle(vsmooth_chip::PHASE_MARGIN_PCT),
+                );
+            }
         }
         Ok(CampaignResult { runs })
     }
@@ -205,7 +273,10 @@ impl CampaignResult {
 
     /// Per-run CDFs of voltage samples (each line of Fig. 7).
     pub fn per_run_cdfs(&self) -> Vec<(RunId, vsmooth_stats::Cdf)> {
-        self.runs.iter().map(|r| (r.id.clone(), r.stats.cdf())).collect()
+        self.runs
+            .iter()
+            .map(|r| (r.id.clone(), r.stats.cdf()))
+            .collect()
     }
 }
 
@@ -247,8 +318,12 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_execution_agree() {
-        let serial = CampaignSpec::reduced(chip(), Fidelity::Custom(400), 2).run(1).unwrap();
-        let parallel = CampaignSpec::reduced(chip(), Fidelity::Custom(400), 2).run(4).unwrap();
+        let serial = CampaignSpec::reduced(chip(), Fidelity::Custom(400), 2)
+            .run(1)
+            .unwrap();
+        let parallel = CampaignSpec::reduced(chip(), Fidelity::Custom(400), 2)
+            .run(4)
+            .unwrap();
         assert_eq!(serial.runs().len(), parallel.runs().len());
         for (a, b) in serial.runs().iter().zip(parallel.runs()) {
             assert_eq!(a.id, b.id);
@@ -263,8 +338,28 @@ mod tests {
     }
 
     #[test]
+    fn metrics_record_counters_identically_across_thread_counts() {
+        let snapshot_at = |threads: usize| {
+            let metrics = MetricsRegistry::new();
+            let spec = CampaignSpec::reduced(chip(), Fidelity::Custom(400), 2);
+            let expected = spec.len() as u64;
+            let result = spec.run_with_metrics(threads, &metrics).unwrap();
+            let snap = metrics.snapshot();
+            assert_eq!(snap.counter("campaign_runs_total"), expected);
+            let cycles: u64 = result.runs().iter().map(|r| r.stats.cycles).sum();
+            assert_eq!(snap.counter("campaign_cycles_total"), cycles);
+            let hist = snap.histogram("campaign_droops_per_kilocycle").unwrap();
+            assert_eq!(hist.count, expected);
+            snap
+        };
+        assert_eq!(snapshot_at(1).render(), snapshot_at(4).render());
+    }
+
+    #[test]
     fn get_finds_runs_by_id() {
-        let result = CampaignSpec::reduced(chip(), Fidelity::Custom(300), 2).run(2).unwrap();
+        let result = CampaignSpec::reduced(chip(), Fidelity::Custom(300), 2)
+            .run(2)
+            .unwrap();
         let id = RunId::Pair("473.astar".into(), "410.bwaves".into());
         assert!(result.get(&id).is_some());
         assert!(result.get(&RunId::Single("nope".into())).is_none());

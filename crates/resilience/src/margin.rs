@@ -34,21 +34,29 @@ const VIRUS_PERIODS: [u32; 6] = [8, 16, 32, 64, 104, 416];
 /// # Errors
 ///
 /// Propagates chip construction/run errors.
-pub fn measure_worst_case_margin(cfg: &ChipConfig, cycles: u64) -> Result<WorstCaseMargin, ChipError> {
+pub fn measure_worst_case_margin(
+    cfg: &ChipConfig,
+    cycles: u64,
+) -> Result<WorstCaseMargin, ChipError> {
     let mut deepest: f64 = 0.0;
     for period in VIRUS_PERIODS {
         let mut chip = Chip::new(cfg.clone())?;
         let mut viruses: Vec<SquareWave> = (0..cfg.num_cores)
             .map(|_| SquareWave::power_virus_with_period(period))
             .collect();
-        let mut sources: Vec<&mut dyn StimulusSource> =
-            viruses.iter_mut().map(|v| v as &mut dyn StimulusSource).collect();
+        let mut sources: Vec<&mut dyn StimulusSource> = viruses
+            .iter_mut()
+            .map(|v| v as &mut dyn StimulusSource)
+            .collect();
         let stats = chip.run(&mut sources, cycles, cycles)?;
         deepest = deepest.max(stats.max_droop_pct());
     }
     // One extra point of guardband for sensor error and aging, as
     // production margining does.
-    Ok(WorstCaseMargin { deepest_droop_pct: deepest, margin_pct: deepest + 1.0 })
+    Ok(WorstCaseMargin {
+        deepest_droop_pct: deepest,
+        margin_pct: deepest + 1.0,
+    })
 }
 
 #[cfg(test)]

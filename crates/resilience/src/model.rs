@@ -86,7 +86,11 @@ impl MarginSweep {
 
     /// Margins whose mean improvement is negative (the "dead zone").
     pub fn dead_zone(&self) -> Vec<f64> {
-        self.points.iter().filter(|(_, imp)| *imp < 0.0).map(|(m, _)| *m).collect()
+        self.points
+            .iter()
+            .filter(|(_, imp)| *imp < 0.0)
+            .map(|(m, _)| *m)
+            .collect()
     }
 }
 
@@ -104,13 +108,18 @@ pub fn margin_sweeps(runs: &[&RunStats], costs: &[u64]) -> Vec<MarginSweep> {
                     let mean = if runs.is_empty() {
                         0.0
                     } else {
-                        runs.iter().map(|r| performance_improvement(r, m, cost)).sum::<f64>()
+                        runs.iter()
+                            .map(|r| performance_improvement(r, m, cost))
+                            .sum::<f64>()
                             / runs.len() as f64
                     };
                     (m, mean)
                 })
                 .collect();
-            MarginSweep { recovery_cost: cost, points }
+            MarginSweep {
+                recovery_cost: cost,
+                points,
+            }
         })
         .collect()
 }
@@ -135,7 +144,11 @@ impl ImprovementHeatmap {
             .iter()
             .map(|s| s.points.iter().map(|&(_, imp)| imp).collect())
             .collect();
-        Self { costs: costs.to_vec(), margins, cells }
+        Self {
+            costs: costs.to_vec(),
+            margins,
+            cells,
+        }
     }
 
     /// Total positive-improvement area (used to compare how the "pocket
@@ -151,7 +164,11 @@ impl ImprovementHeatmap {
 
     /// The best improvement anywhere in the map.
     pub fn max_improvement(&self) -> f64 {
-        self.cells.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.cells
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -214,7 +231,14 @@ mod tests {
         // Droops get exponentially rarer with depth, like real noise.
         let run = synthetic_run(
             10_000_000,
-            &[(2.0, 100_000), (3.0, 10_000), (4.0, 1_000), (5.0, 100), (7.0, 10), (9.0, 1)],
+            &[
+                (2.0, 100_000),
+                (3.0, 10_000),
+                (4.0, 1_000),
+                (5.0, 100),
+                (7.0, 10),
+                (9.0, 1),
+            ],
         );
         let sweeps = margin_sweeps(&[&run], &[1_000]);
         let (m, imp) = sweeps[0].optimal();
@@ -229,17 +253,30 @@ mod tests {
         // aggressive margins".
         let run = synthetic_run(
             10_000_000,
-            &[(2.0, 200_000), (3.0, 40_000), (4.0, 8_000), (5.0, 1_600), (6.0, 320), (8.0, 32)],
+            &[
+                (2.0, 200_000),
+                (3.0, 40_000),
+                (4.0, 8_000),
+                (5.0, 1_600),
+                (6.0, 320),
+                (8.0, 32),
+            ],
         );
         let sweeps = margin_sweeps(&[&run], &RECOVERY_COSTS);
         let optima: Vec<f64> = sweeps.iter().map(|s| s.optimal().0).collect();
         for w in optima.windows(2) {
-            assert!(w[1] >= w[0], "optimal margins should relax with cost: {optima:?}");
+            assert!(
+                w[1] >= w[0],
+                "optimal margins should relax with cost: {optima:?}"
+            );
         }
         // And improvements shrink with cost.
         let imps: Vec<f64> = sweeps.iter().map(|s| s.optimal().1).collect();
         for w in imps.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "improvements should fall with cost: {imps:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "improvements should fall with cost: {imps:?}"
+            );
         }
     }
 

@@ -99,7 +99,7 @@ pub fn schedule_batch(oracle: &PairOracle, policy: Policy) -> BatchSchedule {
                         break;
                     }
                     let need = if i == j { 2 } else { 1 };
-                    if counts[i] + need <= MAX_REPEATS + 1 && counts[j] + 1 <= MAX_REPEATS + 1 {
+                    if counts[i] + need <= MAX_REPEATS + 1 && counts[j] < MAX_REPEATS + 1 {
                         counts[i] += 1;
                         counts[j] += 1;
                         pairs.push((i, j));
@@ -115,10 +115,22 @@ pub fn schedule_batch(oracle: &PairOracle, policy: Policy) -> BatchSchedule {
         }
     }
     let m = pairs.len() as f64;
-    let normalized_droops =
-        pairs.iter().map(|&(i, j)| oracle.normalized_droops(i, j)).sum::<f64>() / m;
-    let normalized_ipc = pairs.iter().map(|&(i, j)| oracle.normalized_ipc(i, j)).sum::<f64>() / m;
-    BatchSchedule { policy, pairs, normalized_droops, normalized_ipc }
+    let normalized_droops = pairs
+        .iter()
+        .map(|&(i, j)| oracle.normalized_droops(i, j))
+        .sum::<f64>()
+        / m;
+    let normalized_ipc = pairs
+        .iter()
+        .map(|&(i, j)| oracle.normalized_ipc(i, j))
+        .sum::<f64>()
+        / m;
+    BatchSchedule {
+        policy,
+        pairs,
+        normalized_droops,
+        normalized_ipc,
+    }
 }
 
 /// Runs the full Fig. 18 experiment: `random_batches` random schedules
@@ -205,7 +217,11 @@ mod tests {
             normalized_ipc: 1.1,
         };
         assert_eq!(b.quadrant(), 1);
-        let b2 = BatchSchedule { normalized_droops: 1.2, normalized_ipc: 0.9, ..b.clone() };
+        let b2 = BatchSchedule {
+            normalized_droops: 1.2,
+            normalized_ipc: 0.9,
+            ..b.clone()
+        };
         assert_eq!(b2.quadrant(), 3);
     }
 
@@ -215,6 +231,8 @@ mod tests {
         let s = policy_scatter(&o, 5);
         assert_eq!(s.len(), 8);
         assert!(s.iter().any(|b| matches!(b.policy, Policy::Droop)));
-        assert!(s.iter().any(|b| matches!(b.policy, Policy::IpcOverDroopN { .. })));
+        assert!(s
+            .iter()
+            .any(|b| matches!(b.policy, Policy::IpcOverDroopN { .. })));
     }
 }

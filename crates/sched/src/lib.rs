@@ -41,6 +41,7 @@
 pub mod batch;
 pub mod online;
 pub mod oracle;
+pub mod pairing;
 pub mod passrate;
 pub mod policy;
 pub mod sliding;
@@ -48,6 +49,10 @@ pub mod sliding;
 pub use batch::{policy_scatter, schedule_batch, BatchSchedule, BATCH_COMBINATIONS, MAX_REPEATS};
 pub use online::{compare_online_scheduling, OnlineComparison, StallRatioPredictor};
 pub use oracle::PairOracle;
+pub use pairing::{
+    OnlineDroop, OnlineIpc, OraclePairPolicy, PairCandidate, PairPolicy, RandomPairing,
+    SameWorkload,
+};
 pub use passrate::{
     best_partners, scheduled_pass_counts, specrate_analysis, ScheduledPassRow, SpecrateRow,
 };

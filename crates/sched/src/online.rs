@@ -36,7 +36,10 @@ impl StallRatioPredictor {
             }
         }
         let fit = linear_fit(&stalls, &droops)?;
-        Some(Self { fit, correlation: pearson(&stalls, &droops) })
+        Some(Self {
+            fit,
+            correlation: pearson(&stalls, &droops),
+        })
     }
 
     /// Predicted droops per kilocycle at a given stall ratio.
@@ -94,7 +97,7 @@ pub fn compare_online_scheduling(oracle: &PairOracle) -> Option<OnlineComparison
             }
             let need = if i == j { 2 } else { 1 };
             if counts[i] + need <= crate::batch::MAX_REPEATS + 1
-                && counts[j] + 1 <= crate::batch::MAX_REPEATS + 1
+                && counts[j] < crate::batch::MAX_REPEATS + 1
             {
                 counts[i] += 1;
                 counts[j] += 1;
@@ -108,14 +111,25 @@ pub fn compare_online_scheduling(oracle: &PairOracle) -> Option<OnlineComparison
     let m = pairs.len() as f64;
     let online_batch = BatchSchedule {
         policy: Policy::Droop,
-        normalized_droops: pairs.iter().map(|&(i, j)| oracle.normalized_droops(i, j)).sum::<f64>()
+        normalized_droops: pairs
+            .iter()
+            .map(|&(i, j)| oracle.normalized_droops(i, j))
+            .sum::<f64>()
             / m,
-        normalized_ipc: pairs.iter().map(|&(i, j)| oracle.normalized_ipc(i, j)).sum::<f64>() / m,
+        normalized_ipc: pairs
+            .iter()
+            .map(|&(i, j)| oracle.normalized_ipc(i, j))
+            .sum::<f64>()
+            / m,
         pairs,
     };
     let oracle_batch = schedule_batch(oracle, Policy::Droop);
     let regret = online_batch.normalized_droops - oracle_batch.normalized_droops;
-    Some(OnlineComparison { oracle_batch, online_batch, regret })
+    Some(OnlineComparison {
+        oracle_batch,
+        online_batch,
+        regret,
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +158,10 @@ mod tests {
     fn online_scheduling_is_close_to_oracle() {
         let o = oracle();
         let cmp = compare_online_scheduling(&o).unwrap();
-        assert_eq!(cmp.online_batch.pairs.len(), crate::batch::BATCH_COMBINATIONS);
+        assert_eq!(
+            cmp.online_batch.pairs.len(),
+            crate::batch::BATCH_COMBINATIONS
+        );
         // The counter-driven scheduler should not be wildly worse than
         // the oracle (the whole premise of a software-visible proxy).
         assert!(

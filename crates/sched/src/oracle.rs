@@ -53,10 +53,12 @@ impl PairOracle {
                 scope.spawn(|| loop {
                     let item = queue.lock().expect("queue lock").pop_front();
                     let Some((i, j)) = item else { break };
-                    let outcome = run_pair(chip, &workloads[i], &workloads[j], fidelity)
-                        .map_err(|e| SchedError::Measurement {
-                            pair: format!("{}+{}", workloads[i].name(), workloads[j].name()),
-                            source: e,
+                    let outcome =
+                        run_pair(chip, &workloads[i], &workloads[j], fidelity).map_err(|e| {
+                            SchedError::Measurement {
+                                pair: format!("{}+{}", workloads[i].name(), workloads[j].name()),
+                                source: e,
+                            }
                         });
                     results.lock().expect("results lock")[i * n + j] = Some(outcome);
                 });
@@ -100,7 +102,10 @@ impl PairOracle {
                 stats.push(campaign.get(&id)?.clone());
             }
         }
-        Some(Self { names: names.to_vec(), stats })
+        Some(Self {
+            names: names.to_vec(),
+            stats,
+        })
     }
 
     /// The benchmark names, in matrix order.

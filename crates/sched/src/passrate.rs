@@ -160,7 +160,11 @@ mod tests {
             assert!(w[1].expected_improvement <= w[0].expected_improvement + 1e-9);
         }
         // Cheap recovery: nearly everything passes.
-        assert!(rows[0].passing >= o.len() - 1, "passing = {}", rows[0].passing);
+        assert!(
+            rows[0].passing >= o.len() - 1,
+            "passing = {}",
+            rows[0].passing
+        );
     }
 
     #[test]

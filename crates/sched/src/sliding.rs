@@ -114,7 +114,8 @@ pub fn sliding_window(
         let mut sx = x.stream(0, cpi);
         let mut idle = IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut sx, &mut idle];
-        chip.run(&mut sources, total, cpi).map_err(|e| wrap(x, y, e))?
+        chip.run(&mut sources, total, cpi)
+            .map_err(|e| wrap(x, y, e))?
     };
 
     let co = {
@@ -122,7 +123,8 @@ pub fn sliding_window(
         let mut sx = x.stream(0, cpi);
         let mut sy = first_window_stream(y, cpi, 1);
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut sx, &mut sy];
-        chip.run(&mut sources, total, cpi).map_err(|e| wrap(x, y, e))?
+        chip.run(&mut sources, total, cpi)
+            .map_err(|e| wrap(x, y, e))?
     };
 
     Ok(SlidingWindow {
@@ -138,7 +140,10 @@ fn profile(stats: &RunStats) -> Vec<f64> {
 }
 
 fn wrap(x: &Workload, y: &Workload, e: vsmooth_chip::ChipError) -> SchedError {
-    SchedError::Measurement { pair: format!("{}<<{}", x.name(), y.name()), source: e }
+    SchedError::Measurement {
+        pair: format!("{}<<{}", x.name(), y.name()),
+        source: e,
+    }
 }
 
 #[cfg(test)]

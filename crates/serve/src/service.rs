@@ -1,0 +1,618 @@
+//! The scheduling service: admission queue → policy-paired placement
+//! → sliced chip simulation → telemetry feedback, epoch by epoch.
+//!
+//! # Determinism
+//!
+//! The service is deterministic for a fixed configuration, job stream
+//! and policy, *independent of the worker-thread count*:
+//!
+//! * Scheduling decisions (admission, pairing, placement) happen on
+//!   the coordinator between epochs, never concurrently.
+//! * Workers only advance disjoint chips; their [`SliceStats`] are
+//!   slotted by chip index and merged in index order.
+//! * Worker-side metrics are exact integer counter sums (commutative);
+//!   every float observation (gauges, histograms, EWMA folds) is
+//!   recorded by the coordinator in a fixed order.
+//!
+//! The invariance is enforced by test: the rendered [`ServiceReport`]
+//! must be byte-identical for 1, 2 and 8 workers.
+
+use crate::job::{CompletedJob, JobSpec};
+use crate::telemetry::TelemetryBook;
+use crate::ServeError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use vsmooth_chip::{Chip, ChipConfig, ChipError, ChipSession, SliceStats};
+use vsmooth_sched::PairPolicy;
+use vsmooth_stats::MetricsRegistry;
+use vsmooth_uarch::{IdleLoop, StimulusSource};
+use vsmooth_workload::{by_name, EventStream};
+
+/// Static configuration of a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The chip model every pool member instantiates.
+    pub chip: ChipConfig,
+    /// Two-core chips in the pool.
+    pub chips: usize,
+    /// Scheduling quantum in cycles; also the workload measurement
+    /// interval, so programs end exactly on slice boundaries.
+    pub slice_cycles: u64,
+    /// How many queued jobs the pairing search considers at once (the
+    /// FIFO prefix of the ready queue).
+    pub pairing_window: usize,
+}
+
+impl ServiceConfig {
+    /// A small default pool: 4 chips, 2 000-cycle quanta, window 16.
+    pub fn new(chip: ChipConfig) -> Self {
+        Self {
+            chip,
+            chips: 4,
+            slice_cycles: 2_000,
+            pairing_window: 16,
+        }
+    }
+}
+
+/// A job currently occupying a core.
+#[derive(Debug)]
+struct RunningJob {
+    spec: JobSpec,
+    stream: EventStream,
+    started_cycle: u64,
+    executed_cycles: u64,
+    instructions: f64,
+    attributed_droops: u64,
+}
+
+/// One pool member: a warmed-up measurement session plus whatever is
+/// running on its two cores.
+#[derive(Debug)]
+struct ChipSlot {
+    session: ChipSession,
+    cores: [Option<RunningJob>; 2],
+    idle: [IdleLoop; 2],
+}
+
+impl ChipSlot {
+    fn occupied(&self) -> usize {
+        self.cores.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Advances this chip by one quantum; empty cores run the idle
+    /// loop, exactly like an OS idle thread.
+    fn run_slice(&mut self, cycles: u64) -> Result<SliceStats, ChipError> {
+        let [c0, c1] = &mut self.cores;
+        let [i0, i1] = &mut self.idle;
+        let s0: &mut dyn StimulusSource = match c0 {
+            Some(job) => &mut job.stream,
+            None => i0,
+        };
+        let s1: &mut dyn StimulusSource = match c1 {
+            Some(job) => &mut job.stream,
+            None => i1,
+        };
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![s0, s1];
+        self.session.run_slice(&mut sources, cycles)
+    }
+}
+
+/// Everything the service measured about one run of a job stream.
+///
+/// Deliberately excludes the worker count: the report of a run must be
+/// byte-identical however many threads simulated it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Name of the pairing policy that drove placement.
+    pub policy: String,
+    /// Jobs submitted to the service.
+    pub jobs_submitted: usize,
+    /// Jobs run to completion (equals submissions on a full drain).
+    pub jobs_completed: usize,
+    /// Final virtual-clock value, in cycles.
+    pub virtual_cycles: u64,
+    /// Scheduling epochs executed.
+    pub epochs: u64,
+    /// Measured cycles summed over every chip in the pool.
+    pub chip_cycles: u64,
+    /// Droop events at the phase margin, summed over the pool.
+    pub droops: u64,
+    /// `droops` per thousand measured chip cycles.
+    pub droops_per_kilocycle: f64,
+    /// Mean admission-queue wait over completed jobs, in cycles.
+    pub mean_queue_wait_cycles: f64,
+    /// Occupied core-quanta over available core-quanta.
+    pub chip_utilization: f64,
+    /// Completed jobs per million virtual cycles.
+    pub throughput_jobs_per_mcycle: f64,
+    /// Mean per-job IPC over completed jobs.
+    pub mean_ipc: f64,
+    /// Workload profiles with at least one real telemetry sample.
+    pub warmed_profiles: usize,
+    /// Rendered metrics snapshot (text exposition format).
+    pub metrics: String,
+    /// Every completed job, in completion order.
+    pub completed: Vec<CompletedJob>,
+}
+
+impl ServiceReport {
+    /// Plain-text summary (the demo's output format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== vsmooth-serve: {} ===\n", self.policy));
+        out.push_str(&format!(
+            "jobs        {} submitted, {} completed\n",
+            self.jobs_submitted, self.jobs_completed
+        ));
+        out.push_str(&format!(
+            "clock       {} virtual cycles over {} epochs\n",
+            self.virtual_cycles, self.epochs
+        ));
+        out.push_str(&format!(
+            "noise       {} droops in {} chip cycles = {:.4} droops/1k-cycles\n",
+            self.droops, self.chip_cycles, self.droops_per_kilocycle
+        ));
+        out.push_str(&format!(
+            "latency     mean queue wait {:.1} cycles\n",
+            self.mean_queue_wait_cycles
+        ));
+        out.push_str(&format!(
+            "throughput  {:.3} jobs/Mcycle at {:.1}% core utilization, mean IPC {:.3}\n",
+            self.throughput_jobs_per_mcycle,
+            100.0 * self.chip_utilization,
+            self.mean_ipc
+        ));
+        out.push_str(&format!(
+            "telemetry   {} workload profiles warmed\n",
+            self.warmed_profiles
+        ));
+        out.push_str(&self.metrics);
+        out
+    }
+}
+
+/// The online noise-aware scheduling service.
+#[derive(Debug)]
+pub struct Service {
+    cfg: ServiceConfig,
+}
+
+impl Service {
+    /// Creates a service over `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for an empty pool, zero quantum or
+    /// zero pairing window.
+    pub fn new(cfg: ServiceConfig) -> Result<Self, ServeError> {
+        if cfg.chips == 0 {
+            return Err(ServeError::InvalidConfig("pool needs at least one chip"));
+        }
+        if cfg.slice_cycles == 0 {
+            return Err(ServeError::InvalidConfig("slice_cycles must be non-zero"));
+        }
+        if cfg.pairing_window < 2 {
+            return Err(ServeError::InvalidConfig(
+                "pairing window must hold at least two jobs",
+            ));
+        }
+        Ok(Self { cfg })
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Runs `jobs` to completion under `policy`, fanning chip
+    /// simulation out over `workers` OS threads, and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownWorkload`] if a job names a workload the
+    /// catalog does not have; [`ServeError::Chip`] on simulation
+    /// failure.
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        policy: &dyn PairPolicy,
+        workers: usize,
+    ) -> Result<ServiceReport, ServeError> {
+        for job in jobs {
+            if by_name(&job.workload).is_none() {
+                return Err(ServeError::UnknownWorkload(job.workload.clone()));
+            }
+        }
+        let metrics = MetricsRegistry::new();
+        let mut slots = self.build_pool()?;
+        let mut pending: VecDeque<JobSpec> = {
+            let mut sorted = jobs.to_vec();
+            sorted.sort_by_key(|j| (j.arrival_cycle, j.id));
+            sorted.into()
+        };
+        let mut ready: VecDeque<JobSpec> = VecDeque::new();
+        let mut book = TelemetryBook::new();
+        let mut completed: Vec<CompletedJob> = Vec::with_capacity(jobs.len());
+        let mut now = 0u64;
+        let mut epochs = 0u64;
+        let mut busy_core_quanta = 0u64;
+        let mut droops = 0u64;
+
+        while completed.len() < jobs.len() {
+            while pending.front().is_some_and(|j| j.arrival_cycle <= now) {
+                let job = pending.pop_front().expect("front checked");
+                metrics.counter_add("serve_jobs_admitted_total", 1);
+                ready.push_back(job);
+            }
+            let any_running = slots.iter().any(|s| s.occupied() > 0);
+            if !any_running && ready.is_empty() {
+                // Pool drained, queue empty: jump to the next arrival.
+                now = pending.front().expect("jobs remain").arrival_cycle;
+                continue;
+            }
+            self.place(&mut slots, &mut ready, &book, policy, now)?;
+
+            let busy: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.occupied() > 0)
+                .map(|(i, _)| i)
+                .collect();
+            busy_core_quanta += busy
+                .iter()
+                .map(|&i| slots[i].occupied() as u64)
+                .sum::<u64>();
+            let slices = run_epoch(&mut slots, &busy, workers, self.cfg.slice_cycles, &metrics)?;
+
+            // Coordinator merge, strictly in chip-index order.
+            for (&chip_idx, slice) in busy.iter().zip(&slices) {
+                droops += slice.droops;
+                let dpk = slice.droops_per_kilocycle();
+                let slot = &mut slots[chip_idx];
+                for core in 0..2 {
+                    let Some(job) = &mut slot.cores[core] else {
+                        continue;
+                    };
+                    let delta = &slice.core_deltas[core];
+                    job.executed_cycles += slice.cycles;
+                    job.instructions += delta.instructions();
+                    job.attributed_droops += slice.droops;
+                    book.observe(&job.spec.workload, delta, dpk);
+                    if job.stream.is_finished() {
+                        let job = slot.cores[core].take().expect("job present");
+                        metrics.counter_add("serve_jobs_completed_total", 1);
+                        completed.push(CompletedJob {
+                            spec: job.spec,
+                            started_cycle: job.started_cycle,
+                            finished_cycle: now + self.cfg.slice_cycles,
+                            executed_cycles: job.executed_cycles,
+                            instructions: job.instructions,
+                            attributed_droops: job.attributed_droops,
+                        });
+                    }
+                }
+            }
+            now += self.cfg.slice_cycles;
+            epochs += 1;
+        }
+
+        metrics.counter_add("serve_droops_total", droops);
+        // Float observations only here, on the coordinator, in
+        // completion order — see the module docs on determinism.
+        for job in &completed {
+            metrics.observe("serve_queue_wait_cycles", job.queue_wait_cycles() as f64);
+            metrics.observe("serve_job_ipc", job.ipc());
+        }
+        let chip_cycles: u64 = slots.iter().map(|s| s.session.measured_cycles()).sum();
+        let core_quanta_available = 2 * self.cfg.chips as u64 * epochs;
+        let utilization = if core_quanta_available == 0 {
+            0.0
+        } else {
+            busy_core_quanta as f64 / core_quanta_available as f64
+        };
+        metrics.gauge_set("serve_chip_utilization", utilization);
+        metrics.gauge_set("serve_warmed_profiles", book.warmed() as f64);
+
+        let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
+            if completed.is_empty() {
+                0.0
+            } else {
+                completed.iter().map(f).sum::<f64>() / completed.len() as f64
+            }
+        };
+        Ok(ServiceReport {
+            policy: policy.name(),
+            jobs_submitted: jobs.len(),
+            jobs_completed: completed.len(),
+            virtual_cycles: now,
+            epochs,
+            chip_cycles,
+            droops,
+            droops_per_kilocycle: if chip_cycles == 0 {
+                0.0
+            } else {
+                droops as f64 * 1000.0 / chip_cycles as f64
+            },
+            mean_queue_wait_cycles: mean(&|j| j.queue_wait_cycles() as f64),
+            chip_utilization: utilization,
+            throughput_jobs_per_mcycle: if now == 0 {
+                0.0
+            } else {
+                completed.len() as f64 * 1e6 / now as f64
+            },
+            mean_ipc: mean(&|j| j.ipc()),
+            warmed_profiles: book.warmed(),
+            metrics: metrics.snapshot().render(),
+            completed,
+        })
+    }
+
+    fn build_pool(&self) -> Result<Vec<ChipSlot>, ServeError> {
+        (0..self.cfg.chips)
+            .map(|chip_idx| {
+                let chip = Chip::new(self.cfg.chip.clone())?;
+                let seed = |core: usize| (chip_idx * 2 + core) as u64;
+                let mut w0 = IdleLoop::new(seed(0));
+                let mut w1 = IdleLoop::new(seed(1));
+                let mut warmup: Vec<&mut dyn StimulusSource> = vec![&mut w0, &mut w1];
+                let session = ChipSession::begin(chip, &mut warmup, self.cfg.slice_cycles)?;
+                Ok(ChipSlot {
+                    session,
+                    cores: [None, None],
+                    idle: [IdleLoop::new(seed(0)), IdleLoop::new(seed(1))],
+                })
+            })
+            .collect()
+    }
+
+    /// Places ready jobs onto free cores: first complete half-empty
+    /// chips with each one's best scoring partner, then fill empty
+    /// chips with the best pair from the window, and finally let a
+    /// partnerless leftover run solo rather than hold a core idle.
+    fn place(
+        &self,
+        slots: &mut [ChipSlot],
+        ready: &mut VecDeque<JobSpec>,
+        book: &TelemetryBook,
+        policy: &dyn PairPolicy,
+        now: u64,
+    ) -> Result<(), ServeError> {
+        // 1. Half-empty chips: match the running job with its best
+        //    available partner.
+        for slot in slots.iter_mut() {
+            if ready.is_empty() || slot.occupied() != 1 {
+                continue;
+            }
+            let resident = slot.cores.iter().flatten().next().expect("one resident");
+            let resident_cand = book.candidate(resident.spec.id, &resident.spec.workload);
+            let window = ready.len().min(self.cfg.pairing_window);
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (qi, job) in ready.iter().take(window).enumerate() {
+                let score =
+                    policy.score_pair(&resident_cand, &book.candidate(job.id, &job.workload));
+                if score > best.1 {
+                    best = (qi, score);
+                }
+            }
+            let job = ready.remove(best.0).expect("index in window");
+            self.start_job(slot, job, now)?;
+        }
+        // 2. Empty chips: best pair within the window.
+        for slot in slots.iter_mut() {
+            if ready.len() < 2 || slot.occupied() != 0 {
+                continue;
+            }
+            let window = ready.len().min(self.cfg.pairing_window);
+            let cands: Vec<_> = ready
+                .iter()
+                .take(window)
+                .map(|j| book.candidate(j.id, &j.workload))
+                .collect();
+            let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+            for i in 0..window {
+                for j in (i + 1)..window {
+                    let score = policy.score_pair(&cands[i], &cands[j]);
+                    if score > best.2 {
+                        best = (i, j, score);
+                    }
+                }
+            }
+            // Remove the later index first so the earlier stays valid.
+            let second = ready.remove(best.1).expect("index in window");
+            let first = ready.remove(best.0).expect("index in window");
+            self.start_job(slot, first, now)?;
+            self.start_job(slot, second, now)?;
+        }
+        // 3. A single leftover with a free chip runs solo.
+        if let Some(slot) = slots.iter_mut().find(|s| s.occupied() == 0) {
+            if ready.len() == 1 {
+                let job = ready.pop_front().expect("one job");
+                self.start_job(slot, job, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn start_job(&self, slot: &mut ChipSlot, spec: JobSpec, now: u64) -> Result<(), ServeError> {
+        let workload = by_name(&spec.workload)
+            .ok_or_else(|| ServeError::UnknownWorkload(spec.workload.clone()))?;
+        // Instance-seeded stream: two jobs of the same workload phase
+        // differently, like two real submissions would.
+        let stream = workload.stream(spec.id, self.cfg.slice_cycles);
+        let core = slot
+            .cores
+            .iter()
+            .position(Option::is_none)
+            .expect("free core");
+        slot.cores[core] = Some(RunningJob {
+            spec,
+            stream,
+            started_cycle: now,
+            executed_cycles: 0,
+            instructions: 0.0,
+            attributed_droops: 0,
+        });
+        Ok(())
+    }
+}
+
+/// Advances every busy chip one quantum, fanned out over `workers` OS
+/// threads. Results come back slotted by position in `busy`, so the
+/// merge order is chip order regardless of which thread ran what.
+fn run_epoch(
+    slots: &mut [ChipSlot],
+    busy: &[usize],
+    workers: usize,
+    slice_cycles: u64,
+    metrics: &MetricsRegistry,
+) -> Result<Vec<SliceStats>, ServeError> {
+    let workers = workers.max(1);
+    let queue: Mutex<VecDeque<(usize, &mut ChipSlot)>> = Mutex::new(
+        slots
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| busy.contains(i))
+            .enumerate()
+            .map(|(ri, (_, slot))| (ri, slot))
+            .collect(),
+    );
+    let results: Mutex<Vec<Option<Result<SliceStats, ChipError>>>> =
+        Mutex::new((0..busy.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(busy.len()) {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop_front();
+                let Some((ri, slot)) = item else { break };
+                let outcome = slot.run_slice(slice_cycles);
+                if let Ok(slice) = &outcome {
+                    metrics.counter_add("serve_slices_total", 1);
+                    metrics.counter_add("serve_chip_cycles_total", slice.cycles);
+                }
+                results.lock().expect("results lock")[ri] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|slot| slot.expect("every busy chip ran").map_err(ServeError::Chip))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::synthetic_jobs;
+    use vsmooth_pdn::DecapConfig;
+    use vsmooth_sched::{OnlineDroop, RandomPairing};
+
+    fn small_cfg() -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+        cfg.chips = 2;
+        cfg.slice_cycles = 500;
+        cfg
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = small_cfg();
+        c.chips = 0;
+        assert!(Service::new(c).is_err());
+        let mut c = small_cfg();
+        c.slice_cycles = 0;
+        assert!(Service::new(c).is_err());
+        let mut c = small_cfg();
+        c.pairing_window = 1;
+        assert!(Service::new(c).is_err());
+    }
+
+    #[test]
+    fn unknown_workloads_are_rejected_up_front() {
+        let service = Service::new(small_cfg()).unwrap();
+        let jobs = vec![JobSpec {
+            id: 0,
+            workload: "no-such-benchmark".into(),
+            arrival_cycle: 0,
+        }];
+        assert!(matches!(
+            service.run(&jobs, &OnlineDroop, 1),
+            Err(ServeError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn service_drains_every_submission() {
+        let service = Service::new(small_cfg()).unwrap();
+        let jobs = synthetic_jobs(11, 10, 1_500);
+        let report = service.run(&jobs, &OnlineDroop, 2).unwrap();
+        assert_eq!(report.jobs_completed, 10);
+        assert_eq!(report.completed.len(), 10);
+        assert!(report.chip_cycles > 0);
+        assert!(report.virtual_cycles > 0);
+        assert!(report.chip_utilization > 0.0 && report.chip_utilization <= 1.0);
+        assert!(report.warmed_profiles > 0);
+        // Every job executed its full program length and never started
+        // before it arrived.
+        for job in &report.completed {
+            assert!(job.executed_cycles > 0);
+            assert!(job.started_cycle >= job.spec.arrival_cycle);
+            assert!(job.finished_cycle > job.started_cycle);
+        }
+        // The renderable report mentions the policy and the metrics.
+        let text = report.render();
+        assert!(text.contains("Droop(online)"));
+        assert!(text.contains("serve_slices_total"));
+    }
+
+    #[test]
+    fn a_single_job_runs_solo_against_the_idle_filler() {
+        let service = Service::new(small_cfg()).unwrap();
+        let jobs = vec![JobSpec {
+            id: 0,
+            workload: "429.mcf".into(),
+            arrival_cycle: 100,
+        }];
+        let report = service.run(&jobs, &OnlineDroop, 1).unwrap();
+        assert_eq!(report.jobs_completed, 1);
+        assert!(report.completed[0].started_cycle >= 100);
+    }
+
+    #[test]
+    fn empty_submission_stream_reports_zeros() {
+        let service = Service::new(small_cfg()).unwrap();
+        let report = service.run(&[], &OnlineDroop, 4).unwrap();
+        assert_eq!(report.jobs_completed, 0);
+        assert_eq!(report.virtual_cycles, 0);
+        assert_eq!(report.droops_per_kilocycle, 0.0);
+    }
+
+    #[test]
+    fn reports_are_identical_across_worker_counts() {
+        let jobs = synthetic_jobs(3, 12, 1_000);
+        let run = |workers: usize| {
+            Service::new(small_cfg())
+                .unwrap()
+                .run(&jobs, &OnlineDroop, workers)
+                .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(3));
+        assert_eq!(one.render(), run(3).render());
+    }
+
+    #[test]
+    fn policies_change_the_schedule_but_not_the_work() {
+        let jobs = synthetic_jobs(5, 12, 800);
+        let service = Service::new(small_cfg()).unwrap();
+        let droop = service.run(&jobs, &OnlineDroop, 2).unwrap();
+        let random = service.run(&jobs, &RandomPairing { seed: 9 }, 2).unwrap();
+        assert_eq!(droop.jobs_completed, random.jobs_completed);
+        // Same jobs, same total program lengths.
+        let total = |r: &ServiceReport| r.completed.iter().map(|j| j.executed_cycles).sum::<u64>();
+        assert_eq!(total(&droop), total(&random));
+        assert_ne!(droop.policy, random.policy);
+    }
+}

@@ -97,7 +97,7 @@ impl Cdf {
     ///
     /// Returns `None` for an empty CDF or `q > 1`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if q < 0.0 || q > 1.0 {
+        if !(0.0..=1.0).contains(&q) {
             return None;
         }
         self.points.iter().find(|&&(_, f)| f >= q).map(|&(v, _)| v)

@@ -77,7 +77,11 @@ impl LinearFit {
 /// assert!((fit.intercept - 1.0).abs() < 1e-12);
 /// ```
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
-    assert_eq!(xs.len(), ys.len(), "linear_fit: series must have equal length");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "linear_fit: series must have equal length"
+    );
     let n = xs.len();
     if n < 2 {
         return None;
@@ -97,7 +101,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let r = pearson(xs, ys);
-    Some(LinearFit { slope, intercept, r_squared: r * r })
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared: r * r,
+    })
 }
 
 #[cfg(test)]

@@ -44,7 +44,10 @@ impl Histogram {
     /// Panics if `lo >= hi`, if either bound is non-finite, or if
     /// `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(lo < hi, "histogram range must be non-empty (lo < hi)");
         assert!(bins > 0, "histogram must have at least one bin");
         Self {
@@ -110,7 +113,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram merge: mismatched lower bound");
         assert_eq!(self.hi, other.hi, "histogram merge: mismatched upper bound");
-        assert_eq!(self.bins.len(), other.bins.len(), "histogram merge: mismatched bin count");
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "histogram merge: mismatched bin count"
+        );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
         }

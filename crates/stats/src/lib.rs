@@ -38,12 +38,14 @@ mod boxplot;
 mod cdf;
 mod corr;
 mod histogram;
+pub mod metrics;
 mod summary;
 
 pub use boxplot::BoxplotStats;
 pub use cdf::Cdf;
 pub use corr::{linear_fit, pearson, LinearFit};
 pub use histogram::Histogram;
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use summary::Summary;
 
 /// Arithmetic mean of a slice; `0.0` for an empty slice.

@@ -1,0 +1,285 @@
+//! A lightweight metrics registry: counters, gauges and histograms
+//! behind one thread-safe handle.
+//!
+//! Long-running subsystems (the `vsmooth-serve` scheduling service, the
+//! measurement campaign) record operational telemetry here —
+//! droops-per-1k-cycles, emergencies, queue wait, chip utilization,
+//! jobs/sec — and render a deterministic snapshot at the end.
+//!
+//! Determinism contract: counters are exact integer sums, so any
+//! recording order yields the same snapshot. Gauges are last-write-wins
+//! and histograms accumulate floating-point sums, so for bit-identical
+//! reports across thread counts those two must be recorded from a
+//! deterministic point (e.g. a coordinator merging worker results in a
+//! fixed order) — which is exactly how `vsmooth-serve` uses them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Streaming histogram state for one metric.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct HistogramState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistogramState {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use vsmooth_stats::MetricsRegistry;
+///
+/// let m = MetricsRegistry::new();
+/// m.counter_add("jobs_completed", 3);
+/// m.gauge_set("queue_depth", 7.0);
+/// m.observe("queue_wait_kcycles", 12.5);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counter("jobs_completed"), 3);
+/// assert!(snap.render().contains("queue_depth"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, AtomicU64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, HistogramState>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    ///
+    /// Counter sums are exact and commutative, so concurrent recording
+    /// from worker threads cannot perturb the snapshot.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let map = self.counters.lock().expect("metrics lock");
+        if let Some(c) = map.get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        drop(map);
+        let mut map = self.counters.lock().expect("metrics lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("metrics lock")
+            .insert(name.to_string(), value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .expect("metrics lock")
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// A point-in-time snapshot with all series sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: h.count,
+                        mean: if h.count == 0 {
+                            0.0
+                        } else {
+                            h.sum / h.count as f64
+                        },
+                        min: h.min,
+                        max: h.max,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Summary of one histogram series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean of observations (0 when empty).
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// An immutable, name-sorted view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The named gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// The named histogram's summary, if any observations were made.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders all series as a fixed-format text block (deterministic
+    /// for identical snapshots).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter   {name:<32} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge     {name:<32} {v:.4}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name:<32} n={} mean={:.4} min={:.4} max={:.4}",
+                h.count, h.mean, h.min, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_exactly() {
+        let m = MetricsRegistry::new();
+        m.counter_add("a", 1);
+        m.counter_add("a", 2);
+        m.counter_add("b", 5);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.counter("b"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_adds_are_exact() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        m.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter("hits"), 8_000);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("depth", 3.0);
+        m.gauge_set("depth", 9.0);
+        assert_eq!(m.snapshot().gauge("depth"), Some(9.0));
+        assert_eq!(m.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_track_count_mean_extremes() {
+        let m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 6.0] {
+            m.observe("wait", v);
+        }
+        let h = m.snapshot().histogram("wait").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.mean - 3.0).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 6.0);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let m = MetricsRegistry::new();
+        m.counter_add("z_last", 1);
+        m.counter_add("a_first", 1);
+        m.observe("h", 2.0);
+        let r1 = m.snapshot().render();
+        let r2 = m.snapshot().render();
+        assert_eq!(r1, r2);
+        assert!(r1.find("a_first").unwrap() < r1.find("z_last").unwrap());
+    }
+}

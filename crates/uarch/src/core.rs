@@ -100,8 +100,16 @@ impl Default for CoreConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum CoreState {
     Running,
-    Stalled { remaining: u32, profile: EventProfile, resume_intensity: f64 },
-    Surging { remaining: u32, profile: EventProfile, resume_intensity: f64 },
+    Stalled {
+        remaining: u32,
+        profile: EventProfile,
+        resume_intensity: f64,
+    },
+    Surging {
+        remaining: u32,
+        profile: EventProfile,
+        resume_intensity: f64,
+    },
 }
 
 /// A single core: per-cycle activity dynamics, current draw and
@@ -141,7 +149,12 @@ impl Core {
     /// Panics if `cfg` is invalid (see [`CoreConfig::assert_valid`]).
     pub fn new(cfg: CoreConfig) -> Self {
         cfg.assert_valid();
-        Self { cfg, state: CoreState::Running, activity: cfg.idle_activity, counters: PerfCounters::new() }
+        Self {
+            cfg,
+            state: CoreState::Running,
+            activity: cfg.idle_activity,
+            counters: PerfCounters::new(),
+        }
     }
 
     /// Core configuration.
@@ -179,29 +192,51 @@ impl Core {
     /// draw (amperes) for this cycle.
     pub fn tick(&mut self, stimulus: CycleStimulus) -> f64 {
         match self.state {
-            CoreState::Stalled { remaining, profile, resume_intensity } => {
+            CoreState::Stalled {
+                remaining,
+                profile,
+                resume_intensity,
+            } => {
                 // Clock gating: decay toward the event's retained
                 // fraction of the interrupted activity level.
                 let floor = profile.retain_frac * resume_intensity;
                 self.activity += profile.gate_rate * (floor - self.activity);
                 self.counters.on_cycle(true, 0.0);
                 self.state = if remaining > 1 {
-                    CoreState::Stalled { remaining: remaining - 1, profile, resume_intensity }
+                    CoreState::Stalled {
+                        remaining: remaining - 1,
+                        profile,
+                        resume_intensity,
+                    }
                 } else {
-                    CoreState::Surging { remaining: profile.surge_cycles, profile, resume_intensity }
+                    CoreState::Surging {
+                        remaining: profile.surge_cycles,
+                        profile,
+                        resume_intensity,
+                    }
                 };
             }
-            CoreState::Surging { remaining, profile, resume_intensity } => {
+            CoreState::Surging {
+                remaining,
+                profile,
+                resume_intensity,
+            } => {
                 // Refill burst: the piled-up window issues at full width
                 // no matter how lazy the average instruction stream is,
                 // so the burst target has an absolute floor. This is why
                 // memory-bound code droops on every miss *return* even
                 // though its average activity is low.
-                let target = (profile.surge_gain * resume_intensity.max(profile.surge_floor)).min(1.6);
+                let target =
+                    (profile.surge_gain * resume_intensity.max(profile.surge_floor)).min(1.6);
                 self.activity += 0.75 * (target - self.activity);
-                self.counters.on_cycle(false, self.cfg.peak_ipc * resume_intensity);
+                self.counters
+                    .on_cycle(false, self.cfg.peak_ipc * resume_intensity);
                 self.state = if remaining > 1 {
-                    CoreState::Surging { remaining: remaining - 1, profile, resume_intensity }
+                    CoreState::Surging {
+                        remaining: remaining - 1,
+                        profile,
+                        resume_intensity,
+                    }
                 } else {
                     CoreState::Running
                 };
@@ -261,7 +296,12 @@ mod tests {
         run(&mut core, 200, CycleStimulus::Idle);
         let idle = core.current();
         run(&mut core, 200, CycleStimulus::Active { intensity: 1.0 });
-        assert!(core.current() > 2.0 * idle, "busy {} vs idle {}", core.current(), idle);
+        assert!(
+            core.current() > 2.0 * idle,
+            "busy {} vs idle {}",
+            core.current(),
+            idle
+        );
     }
 
     #[test]
@@ -281,8 +321,14 @@ mod tests {
         // Exceptions retain ~95% of activity while gated and surge ~2%
         // above steady afterwards; current moves a few percent — the
         // scale of a real production core (Fig. 11/12).
-        assert!(min_i < 0.975 * steady, "gated current {min_i} vs steady {steady}");
-        assert!(max_i > 1.008 * steady, "surge current {max_i} vs steady {steady}");
+        assert!(
+            min_i < 0.975 * steady,
+            "gated current {min_i} vs steady {steady}"
+        );
+        assert!(
+            max_i > 1.008 * steady,
+            "surge current {max_i} vs steady {steady}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl PerfCounters {
 
     /// Records the occurrence of a stall event.
     pub fn on_event(&mut self, e: StallEvent) {
-        let idx = StallEvent::ALL.iter().position(|&x| x == e).expect("event in ALL");
+        let idx = StallEvent::ALL
+            .iter()
+            .position(|&x| x == e)
+            .expect("event in ALL");
         self.event_counts[idx] += 1;
     }
 
@@ -89,8 +92,34 @@ impl PerfCounters {
 
     /// Number of occurrences of `e`.
     pub fn event_count(&self, e: StallEvent) -> u64 {
-        let idx = StallEvent::ALL.iter().position(|&x| x == e).expect("event in ALL");
+        let idx = StallEvent::ALL
+            .iter()
+            .position(|&x| x == e)
+            .expect("event in ALL");
         self.event_counts[idx]
+    }
+
+    /// The counter deltas accumulated since `earlier` was captured —
+    /// how an OS-level sampler derives per-interval stall ratio and IPC
+    /// from free-running hardware counters.
+    ///
+    /// Saturates at zero if `earlier` is not actually an earlier
+    /// snapshot of this counter set.
+    pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
+        let mut d = PerfCounters {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            stall_cycles: self.stall_cycles.saturating_sub(earlier.stall_cycles),
+            committed: (self.committed - earlier.committed).max(0.0),
+            event_counts: [0; 5],
+        };
+        for (slot, (now, then)) in d
+            .event_counts
+            .iter_mut()
+            .zip(self.event_counts.iter().zip(&earlier.event_counts))
+        {
+            *slot = now.saturating_sub(*then);
+        }
+        d
     }
 
     /// Merges another counter set (e.g. across intervals).

@@ -143,10 +143,19 @@ impl EventProfile {
     /// Panics if any field is outside its documented range.
     pub fn assert_valid(&self) {
         assert!(self.stall_cycles > 0, "stall must last at least one cycle");
-        assert!((0.0..=1.0).contains(&self.retain_frac), "retain_frac must be in [0,1]");
-        assert!(self.gate_rate > 0.0 && self.gate_rate <= 1.0, "gate_rate must be in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.retain_frac),
+            "retain_frac must be in [0,1]"
+        );
+        assert!(
+            self.gate_rate > 0.0 && self.gate_rate <= 1.0,
+            "gate_rate must be in (0,1]"
+        );
         assert!(self.surge_gain >= 1.0, "surge_gain must be >= 1");
-        assert!((0.0..=1.2).contains(&self.surge_floor), "surge_floor must be in [0,1.2]");
+        assert!(
+            (0.0..=1.2).contains(&self.surge_floor),
+            "surge_floor must be in [0,1.2]"
+        );
     }
 
     /// Scales the drain depth, surge strength and surge floor by
@@ -201,7 +210,11 @@ mod tests {
         // bursts; short flushes and L1 misses barely move it.
         let l2 = StallEvent::L2Miss.profile();
         let ex = StallEvent::Exception.profile();
-        for e in [StallEvent::L1Miss, StallEvent::TlbMiss, StallEvent::BranchMispredict] {
+        for e in [
+            StallEvent::L1Miss,
+            StallEvent::TlbMiss,
+            StallEvent::BranchMispredict,
+        ] {
             let p = e.profile();
             assert!(l2.retain_frac < p.retain_frac, "{e} vs L2 gating");
             assert!(ex.retain_frac < p.retain_frac, "{e} vs EXCP gating");

@@ -60,14 +60,18 @@ impl StimulusSource for IdleLoop {
     fn next(&mut self) -> CycleStimulus {
         if self.burst_remaining > 0 {
             self.burst_remaining -= 1;
-            return CycleStimulus::Active { intensity: self.burst_intensity };
+            return CycleStimulus::Active {
+                intensity: self.burst_intensity,
+            };
         }
         if self.gap_remaining == 0 {
             // OS housekeeping burst.
             self.burst_remaining = self.rng.gen_range(20..50);
             self.burst_intensity = self.rng.gen_range(0.12..0.24);
             self.gap_remaining = self.rng.gen_range(1_500..4_000);
-            return CycleStimulus::Active { intensity: self.burst_intensity };
+            return CycleStimulus::Active {
+                intensity: self.burst_intensity,
+            };
         }
         self.gap_remaining -= 1;
         CycleStimulus::Idle
@@ -94,7 +98,9 @@ impl FixedIntensity {
 
 impl StimulusSource for FixedIntensity {
     fn next(&mut self) -> CycleStimulus {
-        CycleStimulus::Active { intensity: self.intensity }
+        CycleStimulus::Active {
+            intensity: self.intensity,
+        }
     }
 
     fn name(&self) -> &str {
@@ -171,10 +177,15 @@ impl StimulusSource for Microbenchmark {
                 0
             };
             self.countdown = (i64::from(self.period) + j).max(1) as u32;
-            return CycleStimulus::Event { event: self.event, weight: self.weight };
+            return CycleStimulus::Event {
+                event: self.event,
+                weight: self.weight,
+            };
         }
         self.countdown -= 1;
-        CycleStimulus::Active { intensity: self.intensity }
+        CycleStimulus::Active {
+            intensity: self.intensity,
+        }
     }
 
     fn name(&self) -> &str {
@@ -203,7 +214,10 @@ impl SquareWave {
     ///
     /// Panics if either half has zero length.
     pub fn new(high: f64, low: f64, high_cycles: u32, low_cycles: u32) -> Self {
-        assert!(high_cycles > 0 && low_cycles > 0, "square wave halves must be non-empty");
+        assert!(
+            high_cycles > 0 && low_cycles > 0,
+            "square wave halves must be non-empty"
+        );
         Self {
             high,
             low,
@@ -247,7 +261,11 @@ impl SquareWave {
 
 impl StimulusSource for SquareWave {
     fn next(&mut self) -> CycleStimulus {
-        let intensity = if self.pos < self.high_cycles { self.high } else { self.low };
+        let intensity = if self.pos < self.high_cycles {
+            self.high
+        } else {
+            self.low
+        };
         self.pos = (self.pos + 1) % (self.high_cycles + self.low_cycles);
         CycleStimulus::Active { intensity }
     }
@@ -296,7 +314,9 @@ mod tests {
     fn microbenchmark_is_deterministic_per_seed() {
         let collect = |seed| {
             let mut m = Microbenchmark::new(StallEvent::BranchMispredict, seed);
-            (0..500).map(|_| matches!(m.next(), CycleStimulus::Event { .. })).collect::<Vec<_>>()
+            (0..500)
+                .map(|_| matches!(m.next(), CycleStimulus::Event { .. }))
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(7), collect(7));
         assert_ne!(collect(7), collect(8));

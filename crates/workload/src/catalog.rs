@@ -59,7 +59,12 @@ impl Workload {
         threading: Threading,
         timeline: PhaseTimeline,
     ) -> Self {
-        Self { name: name.into(), suite, threading, timeline }
+        Self {
+            name: name.into(),
+            suite,
+            threading,
+            timeline,
+        }
     }
 
     /// Benchmark name (e.g. `"473.astar"`).
@@ -146,12 +151,25 @@ mod archetype {
 }
 
 fn flat(name: &str, intervals: u32, m: EventMix) -> Workload {
-    Workload::new(name, Suite::Cpu2006, Threading::Single, PhaseTimeline::flat(intervals, m))
+    Workload::new(
+        name,
+        Suite::Cpu2006,
+        Threading::Single,
+        PhaseTimeline::flat(intervals, m),
+    )
 }
 
 fn phased(name: &str, phases: Vec<(u32, EventMix)>) -> Workload {
-    let phases = phases.into_iter().map(|(intervals, mix)| Phase { intervals, mix }).collect();
-    Workload::new(name, Suite::Cpu2006, Threading::Single, PhaseTimeline::new(phases))
+    let phases = phases
+        .into_iter()
+        .map(|(intervals, mix)| Phase { intervals, mix })
+        .collect();
+    Workload::new(
+        name,
+        Suite::Cpu2006,
+        Threading::Single,
+        PhaseTimeline::new(phases),
+    )
 }
 
 /// The 29 SPEC CPU2006 workloads of the paper's Fig. 15, in the figure's
@@ -173,7 +191,11 @@ pub fn spec2006() -> Vec<Workload> {
         flat("410.bwaves", 18, memory(0.72, 5.0)),
         phased(
             "401.bzip2",
-            vec![(4, branchy(0.82, 22.0)), (3, memory(0.75, 3.5)), (4, branchy(0.82, 22.0))],
+            vec![
+                (4, branchy(0.82, 22.0)),
+                (3, memory(0.75, 3.5)),
+                (4, branchy(0.82, 22.0)),
+            ],
         ),
         flat("436.cactusADM", 20, tlb_heavy(0.75, 9.0)),
         flat("454.calculix", 14, compute(1.0)),
@@ -190,7 +212,11 @@ pub fn spec2006() -> Vec<Workload> {
         ),
         phased(
             "403.gcc",
-            vec![(3, branchy(0.8, 26.0)), (2, memory(0.7, 4.0)), (3, branchy(0.8, 26.0))],
+            vec![
+                (3, branchy(0.8, 26.0)),
+                (2, memory(0.7, 4.0)),
+                (3, branchy(0.8, 26.0)),
+            ],
         ),
         flat("459.GemsFDTD", 19, memory(0.68, 6.0)),
         flat("445.gobmk", 15, branchy(0.83, 34.0)),
@@ -207,11 +233,19 @@ pub fn spec2006() -> Vec<Workload> {
         flat("444.namd", 13, compute(1.0)),
         phased(
             "471.omnetpp",
-            vec![(4, memory(0.68, 6.5)), (3, branchy(0.78, 18.0)), (4, memory(0.68, 6.5))],
+            vec![
+                (4, memory(0.68, 6.5)),
+                (3, branchy(0.78, 18.0)),
+                (4, memory(0.68, 6.5)),
+            ],
         ),
         phased(
             "400.perlbench",
-            vec![(3, branchy(0.84, 28.0)), (3, mix(0.9, [10.0, 1.0, 1.5, 16.0, 0.05])), (2, branchy(0.84, 28.0))],
+            vec![
+                (3, branchy(0.84, 28.0)),
+                (3, mix(0.9, [10.0, 1.0, 1.5, 16.0, 0.05])),
+                (2, branchy(0.84, 28.0)),
+            ],
         ),
         flat("453.povray", 12, compute(1.05)),
         flat("458.sjeng", 16, branchy(0.84, 38.0)),
@@ -255,33 +289,66 @@ pub fn parsec() -> Vec<Workload> {
         mt(
             "bodytrack",
             PhaseTimeline::new(vec![
-                Phase { intervals: 3, mix: branchy(0.8, 20.0) },
-                Phase { intervals: 3, mix: memory(0.7, 5.0) },
-                Phase { intervals: 3, mix: branchy(0.8, 20.0) },
+                Phase {
+                    intervals: 3,
+                    mix: branchy(0.8, 20.0),
+                },
+                Phase {
+                    intervals: 3,
+                    mix: memory(0.7, 5.0),
+                },
+                Phase {
+                    intervals: 3,
+                    mix: branchy(0.8, 20.0),
+                },
             ]),
         ),
         mt("canneal", PhaseTimeline::flat(14, memory(0.62, 9.0))),
         mt(
             "dedup",
             PhaseTimeline::new(vec![
-                Phase { intervals: 3, mix: streaming(0.75, 6.0) },
-                Phase { intervals: 3, mix: branchy(0.8, 18.0) },
-                Phase { intervals: 3, mix: streaming(0.75, 6.0) },
+                Phase {
+                    intervals: 3,
+                    mix: streaming(0.75, 6.0),
+                },
+                Phase {
+                    intervals: 3,
+                    mix: branchy(0.8, 18.0),
+                },
+                Phase {
+                    intervals: 3,
+                    mix: streaming(0.75, 6.0),
+                },
             ]),
         ),
-        mt("facesim", PhaseTimeline::flat(15, mix(0.85, [12.0, 2.0, 1.5, 10.0, 0.01]))),
+        mt(
+            "facesim",
+            PhaseTimeline::flat(15, mix(0.85, [12.0, 2.0, 1.5, 10.0, 0.01])),
+        ),
         mt("ferret", PhaseTimeline::flat(12, memory(0.7, 6.0))),
-        mt("fluidanimate", PhaseTimeline::flat(13, mix(0.88, [14.0, 1.5, 1.0, 9.0, 0.01]))),
+        mt(
+            "fluidanimate",
+            PhaseTimeline::flat(13, mix(0.88, [14.0, 1.5, 1.0, 9.0, 0.01])),
+        ),
         mt("freqmine", PhaseTimeline::flat(12, branchy(0.8, 22.0))),
-        mt("streamcluster", PhaseTimeline::flat(14, streaming(0.7, 8.0))),
+        mt(
+            "streamcluster",
+            PhaseTimeline::flat(14, streaming(0.7, 8.0)),
+        ),
         mt("swaptions", PhaseTimeline::flat(10, compute(1.03))),
-        mt("x264", PhaseTimeline::flat(12, mix(0.9, [11.0, 1.0, 0.8, 16.0, 0.02]))),
+        mt(
+            "x264",
+            PhaseTimeline::flat(12, mix(0.9, [11.0, 1.0, 0.8, 16.0, 0.02])),
+        ),
     ]
 }
 
 /// Looks a workload up by name across both suites.
 pub fn by_name(name: &str) -> Option<Workload> {
-    spec2006().into_iter().chain(parsec()).find(|w| w.name() == name)
+    spec2006()
+        .into_iter()
+        .chain(parsec())
+        .find(|w| w.name() == name)
 }
 
 #[cfg(test)]
@@ -297,8 +364,11 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: HashSet<String> =
-            spec2006().iter().chain(parsec().iter()).map(|w| w.name().to_string()).collect();
+        let names: HashSet<String> = spec2006()
+            .iter()
+            .chain(parsec().iter())
+            .map(|w| w.name().to_string())
+            .collect();
         assert_eq!(names.len(), 40);
     }
 
@@ -314,14 +384,19 @@ mod tests {
 
     #[test]
     fn spec_is_single_threaded_parsec_is_multi() {
-        assert!(spec2006().iter().all(|w| w.threading() == Threading::Single));
+        assert!(spec2006()
+            .iter()
+            .all(|w| w.threading() == Threading::Single));
         assert!(parsec().iter().all(|w| w.threading() == Threading::Multi));
     }
 
     #[test]
     fn stall_ratios_are_heterogeneous() {
         // Fig. 15: "a heterogeneous mix of noise levels".
-        let ratios: Vec<f64> = spec2006().iter().map(|w| w.avg_stall_ratio_estimate()).collect();
+        let ratios: Vec<f64> = spec2006()
+            .iter()
+            .map(|w| w.avg_stall_ratio_estimate())
+            .collect();
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min < 0.15, "quietest stall ratio = {min:.2}");
@@ -337,7 +412,10 @@ mod tests {
     #[test]
     fn tonto_oscillates() {
         let t = by_name("465.tonto").unwrap();
-        assert!(t.timeline().phases().len() >= 8, "tonto should oscillate between mixes");
+        assert!(
+            t.timeline().phases().len() >= 8,
+            "tonto should oscillate between mixes"
+        );
     }
 
     #[test]

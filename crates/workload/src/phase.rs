@@ -28,7 +28,10 @@ pub struct EventMix {
 impl EventMix {
     /// A quiet compute-bound mix (high intensity, few stalls).
     pub const fn compute(intensity: f64) -> Self {
-        Self { intensity, rates: [6.0, 0.2, 0.2, 4.0, 0.01] }
+        Self {
+            intensity,
+            rates: [6.0, 0.2, 0.2, 4.0, 0.01],
+        }
     }
 
     /// Rate for one event class, per kilocycle of running execution.
@@ -164,7 +167,10 @@ mod tests {
     use super::*;
 
     fn mix(rates: [f64; 5]) -> EventMix {
-        EventMix { intensity: 0.8, rates }
+        EventMix {
+            intensity: 0.8,
+            rates,
+        }
     }
 
     #[test]
@@ -187,8 +193,14 @@ mod tests {
     #[test]
     fn timeline_mix_lookup() {
         let t = PhaseTimeline::new(vec![
-            Phase { intervals: 2, mix: mix([1.0; 5]) },
-            Phase { intervals: 3, mix: mix([2.0; 5]) },
+            Phase {
+                intervals: 2,
+                mix: mix([1.0; 5]),
+            },
+            Phase {
+                intervals: 3,
+                mix: mix([2.0; 5]),
+            },
         ]);
         assert_eq!(t.total_intervals(), 5);
         assert_eq!(t.mix_at(0).rates[0], 1.0);
@@ -208,16 +220,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_duration_phase_panics() {
-        PhaseTimeline::new(vec![Phase { intervals: 0, mix: mix([0.0; 5]) }]);
+        PhaseTimeline::new(vec![Phase {
+            intervals: 0,
+            mix: mix([0.0; 5]),
+        }]);
     }
 
     #[test]
     fn avg_stall_ratio_is_weighted() {
-        let quiet = EventMix { intensity: 1.0, rates: [0.0; 5] };
+        let quiet = EventMix {
+            intensity: 1.0,
+            rates: [0.0; 5],
+        };
         let noisy = mix([0.0, 20.0, 0.0, 0.0, 0.0]);
         let t = PhaseTimeline::new(vec![
-            Phase { intervals: 1, mix: quiet },
-            Phase { intervals: 1, mix: noisy },
+            Phase {
+                intervals: 1,
+                mix: quiet,
+            },
+            Phase {
+                intervals: 1,
+                mix: noisy,
+            },
         ]);
         let avg = t.avg_stall_ratio_estimate();
         assert!((avg - noisy.stall_ratio_estimate() / 2.0).abs() < 1e-12);

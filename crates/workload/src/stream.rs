@@ -54,7 +54,10 @@ impl EventStream {
         seed: u64,
         cycles_per_interval: u64,
     ) -> Self {
-        assert!(cycles_per_interval > 0, "cycles_per_interval must be non-zero");
+        assert!(
+            cycles_per_interval > 0,
+            "cycles_per_interval must be non-zero"
+        );
         let total_cycles = u64::from(timeline.total_intervals()) * cycles_per_interval;
         Self {
             name: name.into(),
@@ -122,7 +125,9 @@ impl StimulusSource for EventStream {
     fn next(&mut self) -> CycleStimulus {
         if self.looping && self.cycle >= self.total_cycles {
             self.restarts += 1;
-            let seed = self.base_seed.wrapping_add(self.restarts.wrapping_mul(0x9e37_79b9));
+            let seed = self
+                .base_seed
+                .wrapping_add(self.restarts.wrapping_mul(0x9e37_79b9));
             self.restart(seed);
         }
         let mix = *self.timeline.mix_at(self.current_interval());
@@ -135,7 +140,11 @@ impl StimulusSource for EventStream {
             self.train_remaining -= 1;
             let phase = (self.train_pos / self.train_half_period) % 2;
             self.train_pos += 1;
-            let intensity = if phase == 0 { (mix.intensity + 0.55).min(1.4) } else { 0.05 };
+            let intensity = if phase == 0 {
+                (mix.intensity + 0.55).min(1.4)
+            } else {
+                0.05
+            };
             return CycleStimulus::Active { intensity };
         }
         if self.rng.gen::<f64>() < 4e-6 {
@@ -162,9 +171,11 @@ impl StimulusSource for EventStream {
             }
             // Misses arrive in trains: noise stays elevated for a window
             // proportional to the stall the event causes.
-            self.cluster_remaining =
-                self.cluster_remaining.max(4 * fired.profile().stall_cycles);
-            return CycleStimulus::Event { event: fired, weight: 1.0 };
+            self.cluster_remaining = self.cluster_remaining.max(4 * fired.profile().stall_cycles);
+            return CycleStimulus::Event {
+                event: fired,
+                weight: 1.0,
+            };
         }
         // Issue burstiness: a random telegraph modulating activity
         // around the phase mean. The *amplitude* of a burst is set by
@@ -218,8 +229,20 @@ mod tests {
 
     fn timeline() -> PhaseTimeline {
         PhaseTimeline::new(vec![
-            Phase { intervals: 2, mix: EventMix { intensity: 0.9, rates: [10.0, 0.0, 0.0, 0.0, 0.0] } },
-            Phase { intervals: 1, mix: EventMix { intensity: 0.5, rates: [0.0, 0.0, 0.0, 20.0, 0.0] } },
+            Phase {
+                intervals: 2,
+                mix: EventMix {
+                    intensity: 0.9,
+                    rates: [10.0, 0.0, 0.0, 0.0, 0.0],
+                },
+            },
+            Phase {
+                intervals: 1,
+                mix: EventMix {
+                    intensity: 0.5,
+                    rates: [0.0, 0.0, 0.0, 20.0, 0.0],
+                },
+            },
         ])
     }
 
@@ -230,8 +253,14 @@ mod tests {
         let mut br = 0u32;
         for _ in 0..30_000 {
             match s.next() {
-                CycleStimulus::Event { event: StallEvent::L1Miss, .. } => l1 += 1,
-                CycleStimulus::Event { event: StallEvent::BranchMispredict, .. } => br += 1,
+                CycleStimulus::Event {
+                    event: StallEvent::L1Miss,
+                    ..
+                } => l1 += 1,
+                CycleStimulus::Event {
+                    event: StallEvent::BranchMispredict,
+                    ..
+                } => br += 1,
                 _ => {}
             }
         }
@@ -246,7 +275,9 @@ mod tests {
     fn stream_is_deterministic_per_seed() {
         let run = |seed| {
             let mut s = EventStream::new("t", timeline(), seed, 1000);
-            (0..5000).map(|_| matches!(s.next(), CycleStimulus::Event { .. })).collect::<Vec<_>>()
+            (0..5000)
+                .map(|_| matches!(s.next(), CycleStimulus::Event { .. }))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
@@ -256,7 +287,10 @@ mod tests {
     fn event_rate_tracks_mix() {
         let flat = PhaseTimeline::flat(
             1,
-            EventMix { intensity: 1.0, rates: [5.0, 5.0, 5.0, 5.0, 0.0] },
+            EventMix {
+                intensity: 1.0,
+                rates: [5.0, 5.0, 5.0, 5.0, 0.0],
+            },
         );
         let mut s = EventStream::new("t", flat, 9, 100_000);
         let mut events = 0u32;

@@ -7,8 +7,7 @@
 //! ```
 
 use vsmooth::chip::{
-    idle_swing_pct, interference_matrix, single_core_event_swings, tlb_overshoot_trace,
-    ChipConfig,
+    idle_swing_pct, interference_matrix, single_core_event_swings, tlb_overshoot_trace, ChipConfig,
 };
 use vsmooth::pdn::DecapConfig;
 use vsmooth::uarch::StallEvent;
@@ -49,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTLB-miss scope trace (ASCII, 600 cycles):");
     let (lo, hi) = trace
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     for row in (0..8).rev() {
         let thresh = lo + (hi - lo) * (row as f64 + 0.5) / 8.0;
         let line: String = trace

@@ -7,9 +7,7 @@
 //! ```
 
 use vsmooth::chip::{run_pair, ChipConfig, Fidelity};
-use vsmooth::pdn::{
-    decap_swing_sweep, margin_frequency_sweep, node_swing_projection, DecapConfig,
-};
+use vsmooth::pdn::{decap_swing_sweep, margin_frequency_sweep, node_swing_projection, DecapConfig};
 use vsmooth::resilience::measure_worst_case_margin;
 use vsmooth::workload::by_name;
 
@@ -23,8 +21,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 2: and margins get more expensive at low voltage.
     println!("\nFrequency cost of a 20% margin per node (Fig. 2):");
     for series in margin_frequency_sweep() {
-        let at20 = series.points.iter().find(|(m, _)| *m == 20.0).map(|(_, f)| *f).unwrap_or(0.0);
-        println!("  {:>4}: {:.0}% of peak frequency", series.node.to_string(), at20);
+        let at20 = series
+            .points
+            .iter()
+            .find(|(m, _)| *m == 20.0)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0);
+        println!(
+            "  {:>4}: {:.0}% of peak frequency",
+            series.node.to_string(),
+            at20
+        );
     }
 
     // Fig. 6: the hardware extrapolation — break capacitors off the
@@ -38,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsphinx3+mcf on today's vs future processors:");
     let a = by_name("482.sphinx3").expect("sphinx3");
     let b = by_name("429.mcf").expect("mcf");
-    for decap in [DecapConfig::proc100(), DecapConfig::proc25(), DecapConfig::proc3()] {
+    for decap in [
+        DecapConfig::proc100(),
+        DecapConfig::proc25(),
+        DecapConfig::proc3(),
+    ] {
         let chip = ChipConfig::core2_duo(decap.clone());
         let stats = run_pair(&chip, &a, &b, Fidelity::Custom(20_000))?;
         let wc = measure_worst_case_margin(&chip, 80_000)?;

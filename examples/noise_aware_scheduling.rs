@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `.take(10)` for the full 29x29 study.
     let chip = ChipConfig::core2_duo(DecapConfig::proc3());
     let pool: Vec<_> = spec2006().into_iter().take(10).collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     println!("Measuring the {0}x{0} pair oracle on Proc3...", pool.len());
     let oracle = PairOracle::measure(&chip, Fidelity::Custom(8_000), &pool, threads)?;

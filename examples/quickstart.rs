@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  cycles simulated   : {}", stats.cycles);
     println!("  chip IPC           : {:.2}", stats.ipc());
     println!("  stall ratio        : {:.2}", stats.stall_ratio());
-    println!("  peak-to-peak swing : {:.2}% of nominal", stats.peak_to_peak_pct());
+    println!(
+        "  peak-to-peak swing : {:.2}% of nominal",
+        stats.peak_to_peak_pct()
+    );
     println!("  deepest droop      : {:.2}%", stats.max_droop_pct());
     println!(
         "  droops at the {PHASE_MARGIN_PCT}% characterization margin: {:.1} per 1k cycles",

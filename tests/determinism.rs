@@ -28,8 +28,12 @@ fn pair_runs_are_bit_identical() {
 #[test]
 fn campaigns_are_deterministic_across_thread_counts() {
     let chip = ChipConfig::core2_duo(DecapConfig::proc100());
-    let a = CampaignSpec::reduced(chip.clone(), Fidelity::Custom(1_000), 3).run(1).unwrap();
-    let b = CampaignSpec::reduced(chip, Fidelity::Custom(1_000), 3).run(8).unwrap();
+    let a = CampaignSpec::reduced(chip.clone(), Fidelity::Custom(1_000), 3)
+        .run(1)
+        .unwrap();
+    let b = CampaignSpec::reduced(chip, Fidelity::Custom(1_000), 3)
+        .run(8)
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -44,5 +48,8 @@ fn ordered_pairs_differ_but_share_the_chip() {
     let yx = run_pair(&chip, &y, &x, Fidelity::Custom(3_000)).unwrap();
     let a = xy.droops_per_kilocycle(2.3);
     let b = yx.droops_per_kilocycle(2.3);
-    assert!((a - b).abs() < 0.5 * a.max(b).max(1.0), "xy={a:.1} yx={b:.1}");
+    assert!(
+        (a - b).abs() < 0.5 * a.max(b).max(1.0),
+        "xy={a:.1} yx={b:.1}"
+    );
 }

@@ -15,7 +15,8 @@ fn live_recovery_slows_down_more_at_tighter_margins() {
         let mut s = w.stream(0, 3_000);
         let mut idle = IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
-        chip.run_resilient(&mut sources, 60_000, 60_000, margin, 500).unwrap()
+        chip.run_resilient(&mut sources, 60_000, 60_000, margin, 500)
+            .unwrap()
     };
     let tight = run(2.5);
     let relaxed = run(6.0);
@@ -79,7 +80,8 @@ fn resilient_and_plain_runs_agree_when_nothing_triggers() {
         let mut s = w.stream(0, Fidelity::Custom(2_000).cycles_per_interval());
         let mut idle = IdleLoop::default();
         let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
-        chip.run_resilient(&mut sources, 20_000, 20_000, 13.9, 1_000).unwrap()
+        chip.run_resilient(&mut sources, 20_000, 20_000, 13.9, 1_000)
+            .unwrap()
     };
     assert_eq!(resilient.emergencies, 0);
     assert_eq!(plain, resilient.stats);

@@ -7,7 +7,9 @@ use vsmooth::experiments::{ExperimentConfig, Lab};
 fn lab() -> Lab {
     Lab::new(ExperimentConfig {
         fidelity: Fidelity::Custom(2_500),
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         benchmarks: Some(5),
         random_batches: 10,
     })
@@ -19,8 +21,16 @@ fn fig07_typical_case_argument_holds() {
     let d = l.fig07().unwrap();
     // Most samples within 4% of nominal; violations are rare; droops are
     // possible but bounded well inside the worst-case margin.
-    assert!(d.fraction_beyond_typical < 0.02, "{:.4}", d.fraction_beyond_typical);
-    assert!(d.max_droop_pct > 2.3, "deepest droop {:.1}%", d.max_droop_pct);
+    assert!(
+        d.fraction_beyond_typical < 0.02,
+        "{:.4}",
+        d.fraction_beyond_typical
+    );
+    assert!(
+        d.max_droop_pct > 2.3,
+        "deepest droop {:.1}%",
+        d.max_droop_pct
+    );
     assert!(d.max_droop_pct < 14.0);
     // The CDF median sits near the loaded operating point, not at 0.
     let median = d.cdf.quantile(0.5).unwrap();
@@ -37,7 +47,11 @@ fn fig08_optimal_margins_relax_with_recovery_cost() {
         assert!(w[1].1 <= w[0].1 + 1e-9, "gains should shrink: {optima:?}");
     }
     // Gains are in the paper's 10-21% band at the cheap end.
-    assert!((0.08..0.25).contains(&optima[0].1), "peak gain {:.3}", optima[0].1);
+    assert!(
+        (0.08..0.25).contains(&optima[0].1),
+        "peak gain {:.3}",
+        optima[0].1
+    );
     // Expensive recovery has a dead zone at aggressive margins.
     assert!(!sweeps.last().unwrap().dead_zone().is_empty());
 }
@@ -74,7 +88,9 @@ fn fig14_phase_archetypes_behave_as_reported() {
     // contrast to beat sampling noise.
     let mut l = Lab::new(ExperimentConfig {
         fidelity: Fidelity::Custom(10_000),
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         benchmarks: Some(2),
         random_batches: 5,
     });
@@ -107,11 +123,17 @@ fn fig14_phase_archetypes_behave_as_reported() {
 fn fig15_droops_track_the_stall_ratio() {
     let mut l = Lab::new(ExperimentConfig {
         fidelity: Fidelity::Custom(4_000),
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         benchmarks: Some(10),
         random_batches: 5,
     });
     let c = l.fig15().unwrap();
     assert_eq!(c.rows.len(), 10);
-    assert!(c.correlation > 0.6, "correlation {:.2} (paper: 0.97)", c.correlation);
+    assert!(
+        c.correlation > 0.6,
+        "correlation {:.2} (paper: 0.97)",
+        c.correlation
+    );
 }

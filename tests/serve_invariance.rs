@@ -1,0 +1,42 @@
+//! The service's determinism contract: for a fixed configuration, job
+//! stream and policy, the [`ServiceReport`] — including its rendered
+//! metrics snapshot — must be byte-identical however many worker
+//! threads simulate the chip pool.
+
+use vsmooth::chip::ChipConfig;
+use vsmooth::pdn::DecapConfig;
+use vsmooth::sched::{OnlineDroop, OnlineIpc, PairPolicy, RandomPairing};
+use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig, ServiceReport};
+
+fn run(policy: &dyn PairPolicy, workers: usize) -> ServiceReport {
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.chips = 3;
+    cfg.slice_cycles = 600;
+    let service = Service::new(cfg).expect("valid config");
+    let jobs = synthetic_jobs(19, 18, 900);
+    service.run(&jobs, policy, workers).expect("service run")
+}
+
+#[test]
+fn service_report_is_byte_identical_across_worker_counts() {
+    for policy in [
+        &OnlineDroop as &dyn PairPolicy,
+        &OnlineIpc,
+        &RandomPairing { seed: 3 },
+    ] {
+        let baseline = run(policy, 1);
+        assert_eq!(baseline.jobs_completed, 18);
+        for workers in [2, 8] {
+            let other = run(policy, workers);
+            assert_eq!(
+                baseline,
+                other,
+                "{}: report differs between 1 and {workers} workers",
+                policy.name()
+            );
+            // Byte-level check on the full rendering (structured
+            // equality could miss formatting-visible float drift).
+            assert_eq!(baseline.render(), other.render());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for `criterion` (wired in via `[patch.crates-io]`).
+//!
+//! Provides the `Criterion` / `Bencher` / `criterion_group!` /
+//! `criterion_main!` surface the workspace's benches use, backed by a
+//! simple calibrated wall-clock timing loop instead of criterion's
+//! statistical machinery. Reported numbers are median-of-batches
+//! nanoseconds per iteration — coarse, but stable enough to compare
+//! orders of magnitude and catch large regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Batches the measurement is split into (median is reported).
+const BATCHES: u32 = 5;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver handed to each registered function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The stub accepts (and
+    /// ignores) cargo-bench flags like `--bench`, keeping the last
+    /// free-standing argument as a name filter, matching how criterion
+    /// binaries are usually invoked.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    args.next();
+                }
+                other if other.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Times `f` and prints one line of results.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.result {
+            Some(ns) => println!("bench {id:<40} {:>12} ns/iter", format_ns(ns)),
+            None => println!("bench {id:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2e}", ns)
+    } else if ns >= 100.0 {
+        format!("{}", ns.round() as u64)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Runs the closure under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing median nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit one batch budget?
+        let once = Instant::now();
+        hint::black_box(f());
+        let per_iter = once.elapsed().max(Duration::from_nanos(1));
+        let budget = TARGET / BATCHES;
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(BATCHES as usize);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Registers benchmark functions as one group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the bench binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn format_is_compact() {
+        assert_eq!(format_ns(12.34), "12.3");
+        assert_eq!(format_ns(1234.0), "1234");
+    }
+}

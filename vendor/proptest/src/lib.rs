@@ -1,0 +1,354 @@
+//! Offline stand-in for `proptest` (wired in via `[patch.crates-io]`).
+//!
+//! Implements the subset of the proptest 1.x API the workspace's
+//! property tests use: the [`proptest!`] test macro with `pattern in
+//! strategy` bindings, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], range and tuple [`Strategy`] values, and
+//! [`collection::vec`]. Each property runs over a fixed number of
+//! deterministically seeded cases (default 64, overridable with
+//! `PROPTEST_CASES`), so failures reproduce exactly; there is no
+//! shrinking — the failing input is printed instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of one generated test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input was rejected by `prop_assume!`; try another.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failed property with a diagnostic message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assumed-away) input.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// The deterministic generator driving each test case (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)` (panics on zero span).
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty range");
+        (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator: the stub's equivalent of proptest strategies.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value for the current test case.
+    fn pick_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+impl_strategy_float!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn pick_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Lengths a generated `Vec` may take.
+    pub trait SizeRange {
+        /// Picks a concrete length for this case.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length comes from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn pick_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.element.pick_value(rng)).collect()
+        }
+    }
+}
+
+/// Number of generated cases per property (reads `PROPTEST_CASES`).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Drives one property: runs `body` over deterministically seeded
+/// cases, panicking on the first failure. `describe` renders the
+/// generated inputs of the failing case for the panic message.
+pub fn run_cases(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let cases = case_count();
+    let mut rejects = 0u64;
+    let mut case = 0u64;
+    while case < cases {
+        // Seed mixes the property name so sibling tests diverge.
+        let seed = name.bytes().fold(case.wrapping_mul(0x5851_F42D_4C95_7F2D), |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0100_0000_01B3)
+        });
+        let mut rng = TestRng::new(seed);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < 4096,
+                    "property {name}: too many rejected inputs ({rejects})"
+                );
+                case += 1;
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed at case {case} (seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy, TestCaseError, TestRng};
+}
+
+/// Defines property tests: each function body runs over many generated
+/// inputs bound with `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |prop_rng| {
+                $(let $arg = $crate::Strategy::pick_value(&($strat), prop_rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let mut prop_body =
+                    || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                prop_body()
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the harness can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property; extra format arguments extend
+/// the diagnostic.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_bounds(xs in collection::vec(0.0f64..1.0, 3..10)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn tuples_and_assume_work((a, b) in (0u8..10, 0u8..10)) {
+            prop_assume!(a != b);
+            prop_assert!(a < 10 && b < 10, "a={} b={}", a, b);
+            prop_assert_eq!(a == b, false, "tuple elements {} {}", a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_diagnostics() {
+        crate::run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde` (wired in via `[patch.crates-io]`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! keep them serialization-ready, but no code path actually serializes
+//! anything (there is no `serde_json` or other format crate in the
+//! build). That makes the full serde data model unnecessary: the traits
+//! here are empty markers, and the derive macros (re-exported from the
+//! companion `serde_derive` stub) expand to nothing.
+//!
+//! If a future change needs real serialization, drop a vendored copy of
+//! upstream serde in place of this stub; every `#[derive(...)]` and
+//! `#[serde(...)]` attribute in the workspace is already upstream-valid.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized (inert in this stub).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (inert in this stub).
+pub trait Deserialize<'de> {}
+
+/// Marker for seeds/owned deserialization (inert in this stub).
+pub trait DeserializeOwned {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

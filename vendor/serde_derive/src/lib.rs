@@ -1,0 +1,18 @@
+//! Inert derive macros for the offline `serde` stand-in.
+//!
+//! Each derive expands to nothing; declaring `attributes(serde)` keeps
+//! field/container attributes like `#[serde(skip)]` valid and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
