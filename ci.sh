@@ -15,4 +15,16 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== trace demo (artifact validation) =="
+# The demo itself asserts 1/2/8-worker byte-determinism and trace
+# shape; afterwards double-check the artifacts exist and are sane.
+cargo run -q --example trace_demo --release -- \
+    target/ci_trace.json target/ci_metrics.prom
+test -s target/ci_trace.json
+test -s target/ci_metrics.prom
+grep -q '^{"traceEvents":\[' target/ci_trace.json \
+    || { echo "trace JSON lacks a traceEvents array"; exit 1; }
+grep -q 'droops_total{policy=' target/ci_metrics.prom
+grep -q 'queue_wait_kcycles{quantile="0.99"}' target/ci_metrics.prom
+
 echo "CI green."

@@ -1,0 +1,49 @@
+//! Measures what structured tracing costs the scheduling service: the
+//! same job stream is run with the tracer disabled (the hot-path
+//! guard), recording spans only, and recording spans plus per-cycle
+//! droop-event capture. The disabled case is the budget the service
+//! pays unconditionally and must stay within noise of the untraced
+//! baseline (see `tests/trace_guard.rs` for the enforced bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsmooth::sched::OnlineDroop;
+use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig};
+use vsmooth::trace::Tracer;
+
+fn bench(c: &mut Criterion) {
+    let lab = vsmooth_bench::lab();
+    let cfg = lab.config();
+    let slice = (cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+    let mut service_cfg = ServiceConfig::new(vsmooth::chip::ChipConfig::core2_duo(
+        vsmooth::pdn::DecapConfig::proc100(),
+    ));
+    service_cfg.slice_cycles = slice;
+    let service = Service::new(service_cfg).expect("valid config");
+    let jobs = synthetic_jobs(2010, 120, slice);
+    let workers = cfg.threads;
+
+    c.bench_function("trace_overhead/disabled", |b| {
+        b.iter(|| {
+            service
+                .run_traced(&jobs, &OnlineDroop, workers, &Tracer::disabled())
+                .expect("service run")
+        })
+    });
+    c.bench_function("trace_overhead/spans", |b| {
+        b.iter(|| {
+            service
+                .run_traced(&jobs, &OnlineDroop, workers, &Tracer::spans_only())
+                .expect("service run")
+        })
+    });
+    c.bench_function("trace_overhead/spans+droops", |b| {
+        b.iter(|| {
+            service
+                .run_traced(&jobs, &OnlineDroop, workers, &Tracer::enabled())
+                .expect("service run")
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,11 +5,31 @@
 //! cargo run -p vsmooth-bench --bin repro --release            # default scale
 //! VSMOOTH_BENCH=full cargo run -p vsmooth-bench --bin repro --release
 //! ```
+//!
+//! With `--trace-out <path>` and/or `--metrics-out <path>` the run
+//! additionally executes one traced scheduling-service pass and writes
+//! a Chrome trace-event JSON (load it in `chrome://tracing` or
+//! Perfetto) and a Prometheus text snapshot of the labeled metrics.
 
 use vsmooth::report;
 use vsmooth::VsmoothError;
 
 fn main() -> Result<(), VsmoothError> {
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = args.next(),
+            "--metrics-out" => metrics_out = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: repro [--trace-out <path>] [--metrics-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut lab = vsmooth_bench::lab();
     println!(
         "vsmooth reproduction — fidelity {:?}, {} benchmarks, {} threads\n",
@@ -78,6 +98,23 @@ fn main() -> Result<(), VsmoothError> {
         "{}",
         report::serve_comparison(&lab.serve_comparison(2010, 120)?)
     );
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        let tracer = vsmooth::trace::Tracer::enabled();
+        let traced = lab.serve_traced(2010, 120, &tracer)?;
+        if let Some(path) = &trace_out {
+            std::fs::write(path, tracer.to_chrome_json()).expect("write trace JSON");
+            println!(
+                "wrote Chrome trace ({} records, {} droop events) to {path}",
+                tracer.len(),
+                tracer.droops_total()
+            );
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, traced.snapshot.render_prometheus()).expect("write metrics");
+            println!("wrote Prometheus metrics snapshot to {path}");
+        }
+    }
 
     Ok(())
 }

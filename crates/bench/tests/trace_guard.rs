@@ -1,0 +1,78 @@
+//! Overhead guard for the disabled tracer: `Service::run` delegates to
+//! `run_traced` with `Tracer::disabled()`, so the tracing hooks sit on
+//! the service's hot path unconditionally. This test enforces that a
+//! disabled tracer stays within a generous factor of itself run-to-run
+//! of the untraced `Service::run` baseline — i.e. the is-enabled
+//! guards compile down to branches, not work.
+//!
+//! Timing in CI is noisy, so the bound is deliberately loose (2.5x on
+//! medians of several runs); a real regression — allocating or
+//! formatting on the disabled path — shows up as an order of magnitude.
+
+use std::time::{Duration, Instant};
+
+use vsmooth::chip::ChipConfig;
+use vsmooth::pdn::DecapConfig;
+use vsmooth::sched::OnlineDroop;
+use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig};
+use vsmooth::trace::Tracer;
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn disabled_tracer_adds_no_measurable_overhead() {
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.chips = 2;
+    cfg.slice_cycles = 600;
+    let service = Service::new(cfg).expect("valid config");
+    let jobs = synthetic_jobs(7, 12, 900);
+
+    let time_baseline = || -> Duration {
+        let start = Instant::now();
+        let report = service.run(&jobs, &OnlineDroop, 1).expect("service run");
+        assert_eq!(report.jobs_completed, 12);
+        start.elapsed()
+    };
+    let time_disabled = || -> Duration {
+        let start = Instant::now();
+        let report = service
+            .run_traced(&jobs, &OnlineDroop, 1, &Tracer::disabled())
+            .expect("service run");
+        assert_eq!(report.jobs_completed, 12);
+        start.elapsed()
+    };
+
+    // Warm up caches and lazy init before timing anything.
+    time_baseline();
+
+    let rounds = 5;
+    let mut plain = Vec::with_capacity(rounds);
+    let mut traced = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        plain.push(time_baseline());
+        traced.push(time_disabled());
+    }
+    let plain = median(plain);
+    let traced = median(traced);
+
+    // If the disabled path ever grows real work (allocation,
+    // formatting per record), it shows up as an order of magnitude,
+    // far outside this jitter allowance.
+    let ratio = traced.as_secs_f64() / plain.as_secs_f64().max(1e-9);
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "disabled-tracer timing unstable: {plain:?} vs {traced:?} (ratio {ratio:.2})"
+    );
+
+    // The structural guarantee, independent of wall-clock noise: a
+    // disabled tracer records nothing at all.
+    let tracer = Tracer::disabled();
+    service
+        .run_traced(&jobs, &OnlineDroop, 1, &tracer)
+        .expect("service run");
+    assert!(tracer.is_empty(), "disabled tracer must record no events");
+    assert_eq!(tracer.droops_total(), 0);
+}

@@ -6,7 +6,7 @@
 //! (Sec. III-C.) The chip sums per-core current draws into the PDN
 //! model and senses the resulting die voltage every cycle.
 
-use crate::session::MeasureState;
+use crate::session::{DroopCrossing, MeasureState};
 use crate::stats::RunStats;
 use crate::ChipError;
 use serde::{Deserialize, Serialize};
@@ -283,6 +283,33 @@ impl Chip {
             None,
         )?;
         Ok((stats, trace))
+    }
+
+    /// Like [`Chip::run`], but additionally logs every individual
+    /// droop event at the given margin (percent below nominal) as a
+    /// [`DroopCrossing`] with its measured-cycle timestamp and depth —
+    /// the record an observability layer turns into a typed event log.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Chip::run`].
+    pub fn run_with_droop_log(
+        &mut self,
+        sources: &mut [&mut dyn StimulusSource],
+        cycles: u64,
+        interval_cycles: u64,
+        margin_pct: f64,
+    ) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
+        self.check_sources(sources.len())?;
+        if interval_cycles == 0 {
+            return Err(ChipError::InvalidConfig("interval_cycles must be non-zero"));
+        }
+        self.warm_up(sources);
+        let mut state = MeasureState::new(self, interval_cycles);
+        state.enable_droop_capture(margin_pct);
+        state.run(self, sources, cycles, None, None);
+        let crossings = state.take_droop_crossings();
+        Ok((state.into_stats(self), crossings))
     }
 
     /// Like [`Chip::run`], but consults `hook` before every cycle with

@@ -43,8 +43,10 @@ pub use probe::{
     tlb_overshoot_trace, EmpiricalImpedancePoint, EventSwing, InterferenceMatrix,
 };
 pub use resilient::ResilientRunStats;
-pub use runner::{run_pair, run_workload, workload_pair_intervals};
-pub use session::{ChipSession, SliceStats};
+pub use runner::{
+    run_pair, run_pair_logged, run_workload, run_workload_logged, workload_pair_intervals,
+};
+pub use session::{ChipSession, DroopCrossing, SliceStats};
 pub use stats::{RunStats, PHASE_MARGIN_PCT};
 pub use topology::{split_vs_connected, SupplyComparison};
 

@@ -3,6 +3,7 @@
 
 use crate::chip::{Chip, ChipConfig};
 use crate::fidelity::Fidelity;
+use crate::session::DroopCrossing;
 use crate::stats::RunStats;
 use crate::ChipError;
 use vsmooth_uarch::{IdleLoop, StimulusSource};
@@ -21,6 +22,30 @@ pub fn run_workload(
     workload: &Workload,
     fidelity: Fidelity,
 ) -> Result<RunStats, ChipError> {
+    run_workload_inner(cfg, workload, fidelity, None).map(|(stats, _)| stats)
+}
+
+/// Like [`run_workload`], but also returns every droop event at the
+/// given margin as a timestamped [`DroopCrossing`] log.
+///
+/// # Errors
+///
+/// Same conditions as [`run_workload`].
+pub fn run_workload_logged(
+    cfg: &ChipConfig,
+    workload: &Workload,
+    fidelity: Fidelity,
+    margin_pct: f64,
+) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
+    run_workload_inner(cfg, workload, fidelity, Some(margin_pct))
+}
+
+fn run_workload_inner(
+    cfg: &ChipConfig,
+    workload: &Workload,
+    fidelity: Fidelity,
+    margin_pct: Option<f64>,
+) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
     let cpi = fidelity.cycles_per_interval();
     let total = u64::from(workload.total_intervals()) * cpi;
     let mut chip = Chip::new(cfg.clone())?;
@@ -32,7 +57,7 @@ pub fn run_workload(
             let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(cfg.num_cores);
             sources.push(&mut stream);
             sources.extend(idles.iter_mut().map(|i| i as &mut dyn StimulusSource));
-            chip.run(&mut sources, total, cpi)
+            run_maybe_logged(&mut chip, &mut sources, total, cpi, margin_pct)
         }
         Threading::Multi => {
             let mut streams: Vec<_> = (0..cfg.num_cores as u64)
@@ -42,8 +67,21 @@ pub fn run_workload(
                 .iter_mut()
                 .map(|s| s as &mut dyn StimulusSource)
                 .collect();
-            chip.run(&mut sources, total, cpi)
+            run_maybe_logged(&mut chip, &mut sources, total, cpi, margin_pct)
         }
+    }
+}
+
+fn run_maybe_logged(
+    chip: &mut Chip,
+    sources: &mut [&mut dyn StimulusSource],
+    total: u64,
+    cpi: u64,
+    margin_pct: Option<f64>,
+) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
+    match margin_pct {
+        Some(margin) => chip.run_with_droop_log(sources, total, cpi, margin),
+        None => chip.run(sources, total, cpi).map(|s| (s, Vec::new())),
     }
 }
 
@@ -62,6 +100,32 @@ pub fn run_pair(
     b: &Workload,
     fidelity: Fidelity,
 ) -> Result<RunStats, ChipError> {
+    run_pair_inner(cfg, a, b, fidelity, None).map(|(stats, _)| stats)
+}
+
+/// Like [`run_pair`], but also returns every droop event at the given
+/// margin as a timestamped [`DroopCrossing`] log.
+///
+/// # Errors
+///
+/// Same conditions as [`run_pair`].
+pub fn run_pair_logged(
+    cfg: &ChipConfig,
+    a: &Workload,
+    b: &Workload,
+    fidelity: Fidelity,
+    margin_pct: f64,
+) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
+    run_pair_inner(cfg, a, b, fidelity, Some(margin_pct))
+}
+
+fn run_pair_inner(
+    cfg: &ChipConfig,
+    a: &Workload,
+    b: &Workload,
+    fidelity: Fidelity,
+    margin_pct: Option<f64>,
+) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
     if cfg.num_cores != 2 {
         return Err(ChipError::InvalidConfig(
             "pair runs require a two-core chip",
@@ -78,7 +142,7 @@ pub fn run_pair(
     sa.set_looping(true);
     sb.set_looping(true);
     let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut sa, &mut sb];
-    chip.run(&mut sources, total, cpi)
+    run_maybe_logged(&mut chip, &mut sources, total, cpi, margin_pct)
 }
 
 /// Duration (in intervals) of a pair run: the longer program's length.
@@ -142,6 +206,30 @@ mod tests {
             n.droops_per_kilocycle(2.3),
             q.droops_per_kilocycle(2.3)
         );
+    }
+
+    #[test]
+    fn logged_runs_match_plain_runs() {
+        let w = by_name("482.sphinx3").unwrap();
+        let f = Fidelity::Custom(2_000);
+        let plain = run_workload(&cfg(), &w, f).unwrap();
+        let (logged, crossings) = run_workload_logged(&cfg(), &w, f, 2.5).unwrap();
+        assert_eq!(plain.droops, logged.droops);
+        assert_eq!(plain.core_counters, logged.core_counters);
+        assert_eq!(crossings.len() as u64, logged.emergencies(2.5));
+    }
+
+    #[test]
+    fn logged_pair_run_returns_crossings() {
+        let a = by_name("482.sphinx3").unwrap();
+        let b = by_name("429.mcf").unwrap();
+        let (stats, crossings) =
+            run_pair_logged(&cfg(), &a, &b, Fidelity::Custom(1_000), 2.5).unwrap();
+        assert_eq!(crossings.len() as u64, stats.emergencies(2.5));
+        for ev in &crossings {
+            assert!(ev.cycle < stats.cycles);
+            assert!(ev.depth_pct >= 2.5);
+        }
     }
 
     #[test]

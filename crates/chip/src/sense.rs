@@ -92,6 +92,19 @@ impl CrossingGrid {
         self.counts.get(idx).copied().unwrap_or(0)
     }
 
+    /// The effective threshold [`CrossingGrid::events_at`] counts
+    /// crossings of: the nearest grid line at or above `margin_pct`
+    /// (clamped to the grid). A per-event logger that wants to agree
+    /// exactly with the grid's aggregate count must trigger at this
+    /// quantized margin, not the raw one.
+    pub fn quantized_margin(&self, margin_pct: f64) -> f64 {
+        if margin_pct < self.lo {
+            return self.lo;
+        }
+        let idx = (((margin_pct - self.lo) / self.step).ceil() as usize).min(self.counts.len() - 1);
+        self.lo + self.step * idx as f64
+    }
+
     /// The grid thresholds in percent, ascending.
     pub fn thresholds(&self) -> Vec<f64> {
         (0..self.counts.len())

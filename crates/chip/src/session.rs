@@ -19,6 +19,31 @@ use crate::stats::{RunStats, PHASE_MARGIN_PCT};
 use crate::ChipError;
 use vsmooth_uarch::{PerfCounters, StimulusSource};
 
+/// One margin-crossing droop event captured during a measurement.
+///
+/// A crossing begins the cycle the sensed voltage first dips at least
+/// `margin_pct` below nominal and ends when it recovers above the
+/// margin; consecutive below-margin cycles belong to the same event
+/// (matching how [`CrossingGrid`] counts entries, though the capture
+/// compares against the exact margin rather than the grid's quantized
+/// thresholds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroopCrossing {
+    /// Session-absolute measured cycle (0-based) at which the voltage
+    /// first crossed below the margin.
+    pub cycle: u64,
+    /// Deepest excursion of this event, percent below nominal.
+    pub depth_pct: f64,
+}
+
+/// Active droop-event capture: margin, hysteresis state, event log.
+#[derive(Debug, Clone)]
+struct DroopCapture {
+    margin_pct: f64,
+    below: bool,
+    events: Vec<DroopCrossing>,
+}
+
 /// Accumulated measurement state shared by one-shot runs and sessions.
 #[derive(Debug, Clone)]
 pub(crate) struct MeasureState {
@@ -30,6 +55,7 @@ pub(crate) struct MeasureState {
     interval_start_events: u64,
     measured_cycles: u64,
     last_sensed: f64,
+    capture: Option<DroopCapture>,
 }
 
 impl MeasureState {
@@ -45,6 +71,26 @@ impl MeasureState {
             interval_start_events: 0,
             measured_cycles: 0,
             last_sensed: chip.last_sensed(),
+            capture: None,
+        }
+    }
+
+    /// Starts logging individual [`DroopCrossing`] events at the given
+    /// margin (percent below nominal). Only cycles run after this call
+    /// are captured.
+    pub(crate) fn enable_droop_capture(&mut self, margin_pct: f64) {
+        self.capture = Some(DroopCapture {
+            margin_pct,
+            below: false,
+            events: Vec::new(),
+        });
+    }
+
+    /// Drains the captured droop events (empty if capture is off).
+    pub(crate) fn take_droop_crossings(&mut self) -> Vec<DroopCrossing> {
+        match self.capture.as_mut() {
+            Some(cap) => std::mem::take(&mut cap.events),
+            None => Vec::new(),
         }
     }
 
@@ -72,6 +118,25 @@ impl MeasureState {
             min_dev = min_dev.min(dev);
             self.droops.observe(dev);
             self.overshoots.observe(dev);
+            if let Some(cap) = self.capture.as_mut() {
+                let depth = -dev;
+                if depth >= cap.margin_pct {
+                    if cap.below {
+                        // Still inside the same event: track its floor.
+                        if let Some(last) = cap.events.last_mut() {
+                            last.depth_pct = last.depth_pct.max(depth);
+                        }
+                    } else {
+                        cap.below = true;
+                        cap.events.push(DroopCrossing {
+                            cycle: self.measured_cycles,
+                            depth_pct: depth,
+                        });
+                    }
+                } else {
+                    cap.below = false;
+                }
+            }
             if let Some((buf, limit)) = trace.as_mut() {
                 if c < *limit {
                     buf.push(v);
@@ -216,6 +281,22 @@ impl ChipSession {
         Ok(self.state.run(&mut self.chip, sources, cycles, None, None))
     }
 
+    /// Starts logging individual [`DroopCrossing`] events at the given
+    /// margin (percent below nominal). Only cycles run after this call
+    /// are captured; call once right after [`ChipSession::begin`] to
+    /// cover the whole session.
+    pub fn capture_droops(&mut self, margin_pct: f64) {
+        self.state.enable_droop_capture(margin_pct);
+    }
+
+    /// Drains the droop events captured since the last call (empty if
+    /// [`ChipSession::capture_droops`] was never called). Event cycles
+    /// are session-absolute measured cycles, so a coordinator can map
+    /// them onto its own virtual timeline.
+    pub fn take_droop_crossings(&mut self) -> Vec<DroopCrossing> {
+        self.state.take_droop_crossings()
+    }
+
     /// Measured cycles so far.
     pub fn measured_cycles(&self) -> u64 {
         self.state.measured_cycles
@@ -343,6 +424,72 @@ mod tests {
         let slice = session.run_slice(&mut sources, 2_000).unwrap();
         assert_eq!(session.measured_cycles(), 4_000);
         assert!(slice.core_deltas[0].ipc() > 0.0);
+    }
+
+    #[test]
+    fn droop_capture_counts_match_grid_events() {
+        // At a threshold that sits exactly on a CrossingGrid grid line,
+        // the per-event capture and the grid's aggregate count must
+        // agree — they are two views of the same crossings.
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        session.capture_droops(2.5);
+        let mut captured = Vec::new();
+        for _ in 0..6 {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, 5_000).unwrap();
+            captured.extend(session.take_droop_crossings());
+        }
+        let total = session.measured_cycles();
+        let stats = session.finish();
+        assert_eq!(captured.len() as u64, stats.emergencies(2.5));
+        assert!(!captured.is_empty(), "sphinx3 should droop past 2.5%");
+        // Events are ordered, in range, and at least margin deep.
+        for pair in captured.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+        }
+        for ev in &captured {
+            assert!(ev.cycle < total);
+            assert!(ev.depth_pct >= 2.5);
+            assert!(ev.depth_pct <= stats.max_droop_pct() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn take_droop_crossings_is_empty_without_capture() {
+        let (mut a, mut b) = idle_pair();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let mut session = ChipSession::begin(chip(), &mut warm, 2_000).unwrap();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        session.run_slice(&mut sources, 2_000).unwrap();
+        assert!(session.take_droop_crossings().is_empty());
+    }
+
+    #[test]
+    fn droop_capture_does_not_perturb_measurement() {
+        let w = by_name("473.astar").unwrap();
+        let run = |capture: bool| {
+            let mut s = w.stream(0, 5_000);
+            s.set_looping(true);
+            let mut idle = IdleLoop::default();
+            let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+            if capture {
+                session.capture_droops(PHASE_MARGIN_PCT);
+            }
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, 15_000).unwrap();
+            session.finish()
+        };
+        let plain = run(false);
+        let logged = run(true);
+        assert_eq!(plain.sensor, logged.sensor);
+        assert_eq!(plain.droops, logged.droops);
+        assert_eq!(plain.core_counters, logged.core_counters);
     }
 
     #[test]

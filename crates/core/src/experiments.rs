@@ -520,6 +520,33 @@ impl Lab {
             })
             .collect()
     }
+
+    /// The observability run behind `repro --trace-out` /
+    /// `--metrics-out`: the same submission stream as
+    /// [`Lab::serve_comparison`] under the online droop policy,
+    /// recorded into `tracer` (spans, droop events, labeled metrics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors.
+    pub fn serve_traced(
+        &self,
+        seed: u64,
+        jobs: usize,
+        tracer: &vsmooth_trace::Tracer,
+    ) -> Result<vsmooth_serve::ServiceReport, VsmoothError> {
+        use vsmooth_sched::OnlineDroop;
+        use vsmooth_serve::{synthetic_jobs, Service, ServiceConfig};
+
+        let slice = (self.cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+        let mut cfg = ServiceConfig::new(self.chip(DecapConfig::proc100()));
+        cfg.slice_cycles = slice;
+        let service = Service::new(cfg)?;
+        let stream = synthetic_jobs(seed, jobs, slice);
+        service
+            .run_traced(&stream, &OnlineDroop, self.cfg.threads, tracer)
+            .map_err(VsmoothError::from)
+    }
 }
 
 /// Fig. 4 data: two analytic impedance profiles plus the empirical

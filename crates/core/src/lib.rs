@@ -59,6 +59,8 @@ pub use vsmooth_sched as sched;
 pub use vsmooth_serve as serve;
 /// Statistics helpers.
 pub use vsmooth_stats as stats;
+/// Structured tracing: droop events, spans, Chrome trace export.
+pub use vsmooth_trace as trace;
 /// The microarchitecture substrate.
 pub use vsmooth_uarch as uarch;
 /// The workload catalog.

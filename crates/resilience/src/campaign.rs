@@ -13,8 +13,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
-use vsmooth_chip::{run_pair, run_workload, ChipConfig, Fidelity, RunStats};
+use vsmooth_chip::sense::CrossingGrid;
+use vsmooth_chip::{
+    run_pair, run_pair_logged, run_workload, run_workload_logged, ChipConfig, DroopCrossing,
+    Fidelity, RunStats, PHASE_MARGIN_PCT,
+};
 use vsmooth_stats::MetricsRegistry;
+use vsmooth_trace::{ArgValue, DroopEvent, Tracer, PID_CAMPAIGN};
 use vsmooth_workload::{parsec, spec2006, Workload};
 
 /// Identifies one campaign run.
@@ -142,7 +147,7 @@ impl CampaignSpec {
     ///
     /// Returns the first simulation error encountered.
     pub fn run(self, threads: usize) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, None)
+        self.run_instrumented(threads, None, &Tracer::disabled())
     }
 
     /// Like [`CampaignSpec::run`], but records operational telemetry
@@ -159,44 +164,84 @@ impl CampaignSpec {
         threads: usize,
         metrics: &MetricsRegistry,
     ) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, Some(metrics))
+        self.run_instrumented(threads, Some(metrics), &Tracer::disabled())
+    }
+
+    /// Like [`CampaignSpec::run_with_metrics`], but additionally
+    /// records into `tracer`: one span per run on the campaign
+    /// timeline (tid = specification index, spanning `[0, cycles)` of
+    /// that run's private virtual clock) and, in
+    /// [`vsmooth_trace::TraceMode::Full`], a typed [`DroopEvent`] for
+    /// every margin crossing. Workers log crossings into their run's
+    /// result slot; the coordinator emits all trace records in
+    /// specification order, so the trace is identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error encountered.
+    pub fn run_traced(
+        self,
+        threads: usize,
+        metrics: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_instrumented(threads, metrics, tracer)
     }
 
     fn run_instrumented(
         self,
         threads: usize,
         metrics: Option<&MetricsRegistry>,
+        tracer: &Tracer,
     ) -> Result<CampaignResult, CampaignError> {
         let threads = threads.max(1);
         let n = self.specs.len();
         let queue: Mutex<VecDeque<(usize, RunSpec)>> =
             Mutex::new(self.specs.into_iter().enumerate().collect());
-        let results: Mutex<Vec<Option<Result<CampaignRun, CampaignError>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        type Slot = Option<Result<(CampaignRun, Vec<DroopCrossing>), CampaignError>>;
+        let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
         let chip = &self.chip;
         let fidelity = self.fidelity;
+        // Capture at the grid-quantized margin so per-event logs agree
+        // exactly with `RunStats::emergencies(PHASE_MARGIN_PCT)`.
+        let margin = tracer
+            .wants_droop_events()
+            .then(|| CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT));
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let item = queue.lock().expect("queue lock").pop_front();
                     let Some((idx, spec)) = item else { break };
                     let id = spec.id();
-                    let stats = match &spec {
-                        RunSpec::Single(w) | RunSpec::Multi(w) => run_workload(chip, w, fidelity),
-                        RunSpec::Pair(a, b) => run_pair(chip, a, b, fidelity),
+                    let stats = match (&spec, margin) {
+                        (RunSpec::Single(w) | RunSpec::Multi(w), None) => {
+                            run_workload(chip, w, fidelity).map(|s| (s, Vec::new()))
+                        }
+                        (RunSpec::Single(w) | RunSpec::Multi(w), Some(margin)) => {
+                            run_workload_logged(chip, w, fidelity, margin)
+                        }
+                        (RunSpec::Pair(a, b), None) => {
+                            run_pair(chip, a, b, fidelity).map(|s| (s, Vec::new()))
+                        }
+                        (RunSpec::Pair(a, b), Some(margin)) => {
+                            run_pair_logged(chip, a, b, fidelity, margin)
+                        }
                     };
-                    if let (Some(m), Ok(stats)) = (metrics, &stats) {
+                    if let (Some(m), Ok((stats, _))) = (metrics, &stats) {
                         m.counter_add("campaign_runs_total", 1);
                         m.counter_add("campaign_cycles_total", stats.cycles);
-                        m.counter_add(
-                            "campaign_droops_total",
-                            stats.emergencies(vsmooth_chip::PHASE_MARGIN_PCT),
-                        );
+                        m.counter_add("campaign_droops_total", stats.emergencies(PHASE_MARGIN_PCT));
                     }
                     let outcome = stats
-                        .map(|stats| CampaignRun {
-                            id: id.clone(),
-                            stats,
+                        .map(|(stats, crossings)| {
+                            (
+                                CampaignRun {
+                                    id: id.clone(),
+                                    stats,
+                                },
+                                crossings,
+                            )
                         })
                         .map_err(|e| CampaignError::Run {
                             id: id.to_string(),
@@ -208,8 +253,11 @@ impl CampaignSpec {
         });
         let collected = results.into_inner().expect("results lock");
         let mut runs = Vec::with_capacity(n);
+        let mut crossings_by_run = Vec::with_capacity(n);
         for slot in collected {
-            runs.push(slot.expect("every queued run completes")?);
+            let (run, crossings) = slot.expect("every queued run completes")?;
+            runs.push(run);
+            crossings_by_run.push(crossings);
         }
         if let Some(m) = metrics {
             // Histogram observations happen here, after the merge, so
@@ -218,9 +266,41 @@ impl CampaignSpec {
             for run in &runs {
                 m.observe(
                     "campaign_droops_per_kilocycle",
-                    run.stats
-                        .droops_per_kilocycle(vsmooth_chip::PHASE_MARGIN_PCT),
+                    run.stats.droops_per_kilocycle(PHASE_MARGIN_PCT),
                 );
+            }
+        }
+        if tracer.is_enabled() {
+            // Coordinator-side emission in specification order: the
+            // trace byte stream is thread-count-independent.
+            tracer.process_name(PID_CAMPAIGN, "campaign");
+            for (idx, (run, crossings)) in runs.iter().zip(&crossings_by_run).enumerate() {
+                tracer.complete(
+                    run.id.to_string(),
+                    "campaign",
+                    PID_CAMPAIGN,
+                    idx as u64,
+                    0,
+                    run.stats.cycles,
+                    vec![(
+                        "droops",
+                        ArgValue::from(run.stats.emergencies(PHASE_MARGIN_PCT)),
+                    )],
+                );
+                let workloads = match &run.id {
+                    RunId::Single(n) | RunId::Multi(n) => vec![n.clone()],
+                    RunId::Pair(a, b) => vec![a.clone(), b.clone()],
+                };
+                for crossing in crossings {
+                    tracer.droop(DroopEvent {
+                        chip: idx,
+                        core: 0,
+                        cycle: crossing.cycle,
+                        depth_pct: crossing.depth_pct,
+                        workloads: workloads.clone(),
+                        phase: "campaign".to_string(),
+                    });
+                }
             }
         }
         Ok(CampaignResult { runs })
@@ -353,6 +433,25 @@ mod tests {
             snap
         };
         assert_eq!(snapshot_at(1).render(), snapshot_at(4).render());
+    }
+
+    #[test]
+    fn traced_campaign_logs_spans_and_droops_deterministically() {
+        let trace_at = |threads: usize| {
+            let tracer = Tracer::enabled();
+            let spec = CampaignSpec::reduced(chip(), Fidelity::Custom(400), 2);
+            let result = spec.run_traced(threads, None, &tracer).unwrap();
+            let total: u64 = result
+                .runs()
+                .iter()
+                .map(|r| r.stats.emergencies(PHASE_MARGIN_PCT))
+                .sum();
+            assert_eq!(tracer.droops_total(), total);
+            let spans = tracer.records().iter().filter(|r| r.is_span()).count();
+            assert_eq!(spans, result.runs().len());
+            tracer.to_chrome_json()
+        };
+        assert_eq!(trace_at(1), trace_at(4));
     }
 
     #[test]

@@ -23,9 +23,11 @@ use crate::ServeError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Mutex;
-use vsmooth_chip::{Chip, ChipConfig, ChipError, ChipSession, SliceStats};
+use vsmooth_chip::sense::CrossingGrid;
+use vsmooth_chip::{Chip, ChipConfig, ChipError, ChipSession, SliceStats, PHASE_MARGIN_PCT};
 use vsmooth_sched::PairPolicy;
-use vsmooth_stats::MetricsRegistry;
+use vsmooth_stats::{MetricsRegistry, MetricsSnapshot};
+use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS};
 use vsmooth_uarch::{IdleLoop, StimulusSource};
 use vsmooth_workload::{by_name, EventStream};
 
@@ -133,6 +135,11 @@ pub struct ServiceReport {
     pub warmed_profiles: usize,
     /// Rendered metrics snapshot (text exposition format).
     pub metrics: String,
+    /// The structured metrics snapshot `metrics` was rendered from —
+    /// for Prometheus export
+    /// ([`MetricsSnapshot::render_prometheus`]) and programmatic
+    /// access to labeled series and percentiles.
+    pub snapshot: MetricsSnapshot,
     /// Every completed job, in completion order.
     pub completed: Vec<CompletedJob>,
 }
@@ -220,6 +227,34 @@ impl Service {
         policy: &dyn PairPolicy,
         workers: usize,
     ) -> Result<ServiceReport, ServeError> {
+        self.run_traced(jobs, policy, workers, &Tracer::disabled())
+    }
+
+    /// Like [`Service::run`], but records the run into `tracer`:
+    ///
+    /// * per-job spans on the jobs timeline — an `admit` instant at
+    ///   arrival, a `queue` span from arrival to placement, and a span
+    ///   named after the workload from start to completion;
+    /// * per-slice spans on each chip's timeline (one per occupied
+    ///   core per epoch);
+    /// * in [`vsmooth_trace::TraceMode::Full`], a typed [`DroopEvent`]
+    ///   for every margin crossing, drained from the chip sessions by
+    ///   the coordinator in chip-index order.
+    ///
+    /// All trace timestamps are virtual cycles and every record is
+    /// emitted from the coordinator, so the trace byte stream is
+    /// independent of `workers` (the same invariance the report has).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Service::run`].
+    pub fn run_traced(
+        &self,
+        jobs: &[JobSpec],
+        policy: &dyn PairPolicy,
+        workers: usize,
+        tracer: &Tracer,
+    ) -> Result<ServiceReport, ServeError> {
         for job in jobs {
             if by_name(&job.workload).is_none() {
                 return Err(ServeError::UnknownWorkload(job.workload.clone()));
@@ -227,6 +262,23 @@ impl Service {
         }
         let metrics = MetricsRegistry::new();
         let mut slots = self.build_pool()?;
+        if tracer.is_enabled() {
+            tracer.process_name(PID_JOBS, "jobs");
+            for c in 0..self.cfg.chips {
+                tracer.process_name(chip_pid(c), format!("chip{c}"));
+                tracer.thread_name(chip_pid(c), 0, "core0");
+                tracer.thread_name(chip_pid(c), 1, "core1");
+            }
+        }
+        if tracer.wants_droop_events() {
+            // Capture at the grid-quantized margin so per-event logs
+            // agree exactly with the aggregate droop counts in
+            // `SliceStats` (which come from the crossing grid).
+            let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
+            for slot in &mut slots {
+                slot.session.capture_droops(margin);
+            }
+        }
         let mut pending: VecDeque<JobSpec> = {
             let mut sorted = jobs.to_vec();
             sorted.sort_by_key(|j| (j.arrival_cycle, j.id));
@@ -244,6 +296,16 @@ impl Service {
             while pending.front().is_some_and(|j| j.arrival_cycle <= now) {
                 let job = pending.pop_front().expect("front checked");
                 metrics.counter_add("serve_jobs_admitted_total", 1);
+                if tracer.is_enabled() {
+                    tracer.instant(
+                        "admit",
+                        "job",
+                        PID_JOBS,
+                        job.id,
+                        job.arrival_cycle,
+                        vec![("workload", ArgValue::from(job.workload.as_str()))],
+                    );
+                }
                 ready.push_back(job);
             }
             let any_running = slots.iter().any(|s| s.occupied() > 0);
@@ -252,7 +314,7 @@ impl Service {
                 now = pending.front().expect("jobs remain").arrival_cycle;
                 continue;
             }
-            self.place(&mut slots, &mut ready, &book, policy, now)?;
+            self.place(&mut slots, &mut ready, &book, policy, now, tracer)?;
 
             let busy: Vec<usize> = slots
                 .iter()
@@ -266,11 +328,52 @@ impl Service {
                 .sum::<u64>();
             let slices = run_epoch(&mut slots, &busy, workers, self.cfg.slice_cycles, &metrics)?;
 
-            // Coordinator merge, strictly in chip-index order.
+            // Coordinator merge, strictly in chip-index order. Trace
+            // records and float observations happen only here, so the
+            // emitted stream is worker-count-independent.
             for (&chip_idx, slice) in busy.iter().zip(&slices) {
                 droops += slice.droops;
                 let dpk = slice.droops_per_kilocycle();
+                if slice.droops > 0 {
+                    metrics.observe("droop_depth_pct", slice.max_droop_pct);
+                }
                 let slot = &mut slots[chip_idx];
+                if tracer.is_enabled() {
+                    for (core, job) in slot.cores.iter().enumerate() {
+                        let Some(job) = job else { continue };
+                        tracer.complete(
+                            job.spec.workload.clone(),
+                            "slice",
+                            chip_pid(chip_idx),
+                            core as u64,
+                            now,
+                            slice.cycles,
+                            vec![("job", ArgValue::from(job.spec.id))],
+                        );
+                    }
+                }
+                if tracer.wants_droop_events() {
+                    let workloads: Vec<String> = slot
+                        .cores
+                        .iter()
+                        .flatten()
+                        .map(|j| j.spec.workload.clone())
+                        .collect();
+                    // Busy chips only ever advance one slice per epoch,
+                    // so every captured crossing maps onto this slice's
+                    // window of the virtual clock.
+                    let slice_start = slot.session.measured_cycles() - slice.cycles;
+                    for crossing in slot.session.take_droop_crossings() {
+                        tracer.droop(DroopEvent {
+                            chip: chip_idx,
+                            core: 0,
+                            cycle: now + (crossing.cycle - slice_start),
+                            depth_pct: crossing.depth_pct,
+                            workloads: workloads.clone(),
+                            phase: format!("epoch{epochs}"),
+                        });
+                    }
+                }
                 for core in 0..2 {
                     let Some(job) = &mut slot.cores[core] else {
                         continue;
@@ -283,10 +386,26 @@ impl Service {
                     if job.stream.is_finished() {
                         let job = slot.cores[core].take().expect("job present");
                         metrics.counter_add("serve_jobs_completed_total", 1);
+                        let finished_cycle = now + self.cfg.slice_cycles;
+                        if tracer.is_enabled() {
+                            tracer.complete(
+                                job.spec.workload.clone(),
+                                "job",
+                                PID_JOBS,
+                                job.spec.id,
+                                job.started_cycle,
+                                finished_cycle - job.started_cycle,
+                                vec![
+                                    ("chip", ArgValue::from(chip_idx)),
+                                    ("executed_cycles", ArgValue::from(job.executed_cycles)),
+                                    ("attributed_droops", ArgValue::from(job.attributed_droops)),
+                                ],
+                            );
+                        }
                         completed.push(CompletedJob {
                             spec: job.spec,
                             started_cycle: job.started_cycle,
-                            finished_cycle: now + self.cfg.slice_cycles,
+                            finished_cycle,
                             executed_cycles: job.executed_cycles,
                             instructions: job.instructions,
                             attributed_droops: job.attributed_droops,
@@ -299,10 +418,19 @@ impl Service {
         }
 
         metrics.counter_add("serve_droops_total", droops);
+        metrics.counter_with("droops_total", &[("policy", &policy.name())], droops);
         // Float observations only here, on the coordinator, in
         // completion order — see the module docs on determinism.
         for job in &completed {
             metrics.observe("serve_queue_wait_cycles", job.queue_wait_cycles() as f64);
+            metrics.observe(
+                "queue_wait_kcycles",
+                job.queue_wait_cycles() as f64 / 1000.0,
+            );
+            metrics.observe(
+                "job_latency_kcycles",
+                (job.finished_cycle - job.spec.arrival_cycle) as f64 / 1000.0,
+            );
             metrics.observe("serve_job_ipc", job.ipc());
         }
         let chip_cycles: u64 = slots.iter().map(|s| s.session.measured_cycles()).sum();
@@ -315,6 +443,7 @@ impl Service {
         metrics.gauge_set("serve_chip_utilization", utilization);
         metrics.gauge_set("serve_warmed_profiles", book.warmed() as f64);
 
+        let snapshot = metrics.snapshot();
         let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
             if completed.is_empty() {
                 0.0
@@ -344,7 +473,8 @@ impl Service {
             },
             mean_ipc: mean(&|j| j.ipc()),
             warmed_profiles: book.warmed(),
-            metrics: metrics.snapshot().render(),
+            metrics: snapshot.render(),
+            snapshot,
             completed,
         })
     }
@@ -378,10 +508,11 @@ impl Service {
         book: &TelemetryBook,
         policy: &dyn PairPolicy,
         now: u64,
+        tracer: &Tracer,
     ) -> Result<(), ServeError> {
         // 1. Half-empty chips: match the running job with its best
         //    available partner.
-        for slot in slots.iter_mut() {
+        for (chip_idx, slot) in slots.iter_mut().enumerate() {
             if ready.is_empty() || slot.occupied() != 1 {
                 continue;
             }
@@ -397,10 +528,10 @@ impl Service {
                 }
             }
             let job = ready.remove(best.0).expect("index in window");
-            self.start_job(slot, job, now)?;
+            self.start_job(slot, chip_idx, job, now, tracer)?;
         }
         // 2. Empty chips: best pair within the window.
-        for slot in slots.iter_mut() {
+        for (chip_idx, slot) in slots.iter_mut().enumerate() {
             if ready.len() < 2 || slot.occupied() != 0 {
                 continue;
             }
@@ -422,20 +553,31 @@ impl Service {
             // Remove the later index first so the earlier stays valid.
             let second = ready.remove(best.1).expect("index in window");
             let first = ready.remove(best.0).expect("index in window");
-            self.start_job(slot, first, now)?;
-            self.start_job(slot, second, now)?;
+            self.start_job(slot, chip_idx, first, now, tracer)?;
+            self.start_job(slot, chip_idx, second, now, tracer)?;
         }
         // 3. A single leftover with a free chip runs solo.
-        if let Some(slot) = slots.iter_mut().find(|s| s.occupied() == 0) {
+        if let Some((chip_idx, slot)) = slots
+            .iter_mut()
+            .enumerate()
+            .find(|(_, s)| s.occupied() == 0)
+        {
             if ready.len() == 1 {
                 let job = ready.pop_front().expect("one job");
-                self.start_job(slot, job, now)?;
+                self.start_job(slot, chip_idx, job, now, tracer)?;
             }
         }
         Ok(())
     }
 
-    fn start_job(&self, slot: &mut ChipSlot, spec: JobSpec, now: u64) -> Result<(), ServeError> {
+    fn start_job(
+        &self,
+        slot: &mut ChipSlot,
+        chip_idx: usize,
+        spec: JobSpec,
+        now: u64,
+        tracer: &Tracer,
+    ) -> Result<(), ServeError> {
         let workload = by_name(&spec.workload)
             .ok_or_else(|| ServeError::UnknownWorkload(spec.workload.clone()))?;
         // Instance-seeded stream: two jobs of the same workload phase
@@ -446,6 +588,21 @@ impl Service {
             .iter()
             .position(Option::is_none)
             .expect("free core");
+        if tracer.is_enabled() {
+            tracer.complete(
+                "queue",
+                "job",
+                PID_JOBS,
+                spec.id,
+                spec.arrival_cycle,
+                now - spec.arrival_cycle,
+                vec![
+                    ("workload", ArgValue::from(spec.workload.as_str())),
+                    ("chip", ArgValue::from(chip_idx)),
+                    ("core", ArgValue::from(core)),
+                ],
+            );
+        }
         slot.cores[core] = Some(RunningJob {
             spec,
             stream,
@@ -601,6 +758,55 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(3));
         assert_eq!(one.render(), run(3).render());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let jobs = synthetic_jobs(7, 8, 1_200);
+        let service = Service::new(small_cfg()).unwrap();
+        let plain = service.run(&jobs, &OnlineDroop, 2).unwrap();
+        let tracer = Tracer::enabled();
+        let traced = service.run_traced(&jobs, &OnlineDroop, 2, &tracer).unwrap();
+        // Tracing is pure observation: the schedule and report are
+        // unchanged.
+        assert_eq!(plain, traced);
+        // Every job got an admit instant, a queue span and a run span.
+        let records = tracer.records();
+        let spans = records.iter().filter(|r| r.is_span()).count();
+        let instants = records.iter().filter(|r| r.is_instant()).count();
+        assert!(spans >= 2 * traced.jobs_completed + traced.epochs as usize);
+        assert!(instants >= traced.jobs_completed);
+        // Droop events match the report's droop count.
+        assert_eq!(tracer.droops_total(), traced.droops);
+        // Labeled counter and percentile histograms are in the
+        // snapshot.
+        assert_eq!(
+            traced
+                .snapshot
+                .counter_labeled("droops_total", &[("policy", "Droop(online)")]),
+            traced.droops
+        );
+        assert!(traced.snapshot.histogram("queue_wait_kcycles").is_some());
+        let prom = traced.snapshot.render_prometheus();
+        assert!(prom.contains("droops_total{policy=\"Droop(online)\"}"));
+        assert!(prom.contains("queue_wait_kcycles{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn trace_bytes_are_identical_across_worker_counts() {
+        let jobs = synthetic_jobs(13, 9, 1_000);
+        let run = |workers: usize| {
+            let tracer = Tracer::enabled();
+            let service = Service::new(small_cfg()).unwrap();
+            service
+                .run_traced(&jobs, &OnlineDroop, workers, &tracer)
+                .unwrap();
+            tracer.to_chrome_json()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert!(one.contains("traceEvents"));
     }
 
     #[test]

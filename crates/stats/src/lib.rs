@@ -45,7 +45,7 @@ pub use boxplot::BoxplotStats;
 pub use cdf::Cdf;
 pub use corr::{linear_fit, pearson, LinearFit};
 pub use histogram::Histogram;
-pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{default_buckets, HistogramSummary, MetricsRegistry, MetricsSnapshot, SeriesId};
 pub use summary::Summary;
 
 /// Arithmetic mean of a slice; `0.0` for an empty slice.

@@ -1,0 +1,42 @@
+//! Golden-file test pinning the Prometheus text exposition format.
+//!
+//! `render_prometheus()` output is an exported artifact (written by
+//! `repro --metrics-out` and the `trace_demo` example), so its exact
+//! byte layout is part of the public contract. If a legitimate format
+//! change is made, regenerate `tests/golden/metrics.prom` from the
+//! `expected` printed by this test on failure.
+
+use vsmooth_stats::MetricsRegistry;
+
+fn sample_registry() -> MetricsRegistry {
+    let m = MetricsRegistry::new();
+    m.counter_with("droops_total", &[("policy", "Droop(online)")], 42);
+    m.counter_with("droops_total", &[("policy", "Random")], 97);
+    m.counter_add("jobs_completed_total", 19);
+    m.gauge_set("chip_utilization", 0.8125);
+    m.declare_buckets("queue_wait_kcycles", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+    for v in [0.6, 1.2, 2.4, 4.8, 9.6, 19.2, f64::NAN] {
+        m.observe("queue_wait_kcycles", v);
+    }
+    m
+}
+
+#[test]
+fn prometheus_render_matches_golden_file() {
+    let got = sample_registry().snapshot().render_prometheus();
+    let want = include_str!("golden/metrics.prom");
+    assert_eq!(
+        got, want,
+        "render_prometheus drifted from tests/golden/metrics.prom;\n--- got ---\n{got}"
+    );
+}
+
+#[test]
+fn plain_render_is_stable_across_snapshots() {
+    let m = sample_registry();
+    assert_eq!(m.snapshot().render(), m.snapshot().render());
+    assert_eq!(
+        m.snapshot().render_prometheus(),
+        m.snapshot().render_prometheus()
+    );
+}

@@ -1,0 +1,58 @@
+//! # vsmooth-trace — structured tracing for the vsmooth workspace
+//!
+//! The paper's whole methodology is *observing* voltage noise: scope
+//! captures, droop histograms, per-phase attribution (PAPER.md §III).
+//! This crate is that methodology for the simulated system — a
+//! first-class event log that can answer "which job pair, on which
+//! chip, at which cycle caused that emergency?" instead of end-of-run
+//! aggregates only.
+//!
+//! * [`Tracer`] — span/instant/counter recording, free when disabled
+//!   (one branch per call site, no lock taken).
+//! * [`DroopEvent`] — the typed emergency record: chip, core, cycle,
+//!   depth, resident workloads, phase.
+//! * [`export`] — Chrome trace-event JSON (viewable in
+//!   `chrome://tracing` / Perfetto) plus a minimal JSON parser so the
+//!   artifact can be validated offline.
+//!
+//! # Determinism contract
+//!
+//! Timestamps are **virtual cycles**; no wall-clock value, thread id,
+//! or allocation address ever enters a record. Worker threads fill
+//! private [`TraceBuffer`]s (or chip-session droop captures) and a
+//! coordinator merges them in a fixed order, so the exported bytes are
+//! identical whatever the worker-thread count — enforced end to end by
+//! the `serve_invariance` integration test.
+//!
+//! # Examples
+//!
+//! ```
+//! use vsmooth_trace::{export, DroopEvent, Tracer, PID_JOBS};
+//!
+//! let tracer = Tracer::enabled();
+//! tracer.process_name(PID_JOBS, "jobs");
+//! tracer.complete("429.mcf", "job", PID_JOBS, 0, 1_000, 5_000, vec![]);
+//! tracer.droop(DroopEvent {
+//!     chip: 0,
+//!     core: 0,
+//!     cycle: 2_400,
+//!     depth_pct: 2.9,
+//!     workloads: vec!["429.mcf".into()],
+//!     phase: "epoch1".into(),
+//! });
+//! let json = tracer.to_chrome_json();
+//! let shape = export::validate_chrome_trace(&json).unwrap();
+//! assert_eq!(shape.spans, 1);
+//! assert_eq!(shape.droops, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod tracer;
+
+pub use event::{chip_pid, ArgValue, Args, DroopEvent, TraceRecord, PID_CAMPAIGN, PID_JOBS};
+pub use export::{chrome_trace_json, parse_json, validate_chrome_trace, JsonValue, TraceShape};
+pub use tracer::{SpanGuard, TraceBuffer, TraceMode, Tracer};

@@ -1,0 +1,478 @@
+//! The recorder: cheap when disabled, deterministic when enabled.
+//!
+//! A [`Tracer`] is created once per run in one of three modes. Every
+//! recording method first checks the mode with a plain branch, so a
+//! disabled tracer costs one predictable-false comparison per call
+//! site and never takes the lock — that is the "zero overhead when
+//! disabled" budget the serve hot path relies on.
+//!
+//! Worker threads never write to the shared tracer directly. They fill
+//! private [`TraceBuffer`]s (or, for droop events, drain the chip
+//! session's capture) and the coordinator merges them in a fixed order
+//! — chip index, then record order — so the exported byte stream is
+//! independent of the worker-thread count.
+
+use crate::event::{chip_pid, ArgValue, Args, DroopEvent, TraceRecord};
+use std::sync::Mutex;
+
+/// What a [`Tracer`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record nothing; every call is a no-op.
+    Disabled,
+    /// Record spans, instants and counters, but skip droop-event
+    /// capture (the per-cycle chip-side cost).
+    Spans,
+    /// Record everything, including typed droop events.
+    Full,
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    records: Vec<TraceRecord>,
+    droops_total: u64,
+}
+
+/// A private, lock-free record buffer for one worker thread.
+///
+/// Workers push into their own buffer; the coordinator calls
+/// [`Tracer::merge`] in a deterministic order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a complete span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u64,
+        ts: u64,
+        dur: u64,
+        args: Args,
+    ) {
+        self.records.push(TraceRecord::Span {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            ts,
+            dur,
+            args,
+        });
+    }
+
+    /// Records an instant event.
+    pub fn instant(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u64,
+        ts: u64,
+        args: Args,
+    ) {
+        self.records.push(TraceRecord::Instant {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            ts,
+            args,
+        });
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The run-wide trace recorder. See the [module docs](self).
+#[derive(Debug)]
+pub struct Tracer {
+    mode: TraceMode,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Self::with_mode(TraceMode::Disabled)
+    }
+
+    /// A tracer recording spans/instants/counters but not droop events.
+    pub fn spans_only() -> Self {
+        Self::with_mode(TraceMode::Spans)
+    }
+
+    /// A tracer recording everything.
+    pub fn enabled() -> Self {
+        Self::with_mode(TraceMode::Full)
+    }
+
+    /// A tracer in the given mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
+        Self {
+            mode,
+            state: Mutex::new(TracerState::default()),
+        }
+    }
+
+    /// The tracer's mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Whether any recording happens at all. Call sites that must build
+    /// arguments (allocations) should guard on this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mode != TraceMode::Disabled
+    }
+
+    /// Whether droop-event capture should be switched on chip-side.
+    #[inline]
+    pub fn wants_droop_events(&self) -> bool {
+        self.mode == TraceMode::Full
+    }
+
+    fn push(&self, record: TraceRecord) {
+        self.state.lock().expect("tracer lock").records.push(record);
+    }
+
+    /// Names a virtual process in the exported trace.
+    pub fn process_name(&self, pid: u32, name: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceRecord::ProcessName {
+            pid,
+            name: name.into(),
+        });
+    }
+
+    /// Names a virtual thread in the exported trace.
+    pub fn thread_name(&self, pid: u32, tid: u64, name: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceRecord::ThreadName {
+            pid,
+            tid,
+            name: name.into(),
+        });
+    }
+
+    /// Records a complete span (`[ts, ts + dur)` in virtual cycles).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u64,
+        ts: u64,
+        dur: u64,
+        args: Args,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceRecord::Span {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            ts,
+            dur,
+            args,
+        });
+    }
+
+    /// Records an instant event.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u64,
+        ts: u64,
+        args: Args,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceRecord::Instant {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            ts,
+            args,
+        });
+    }
+
+    /// Records a counter sample.
+    pub fn counter(&self, name: impl Into<String>, pid: u32, ts: u64, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceRecord::Counter {
+            name: name.into(),
+            pid,
+            ts,
+            value,
+        });
+    }
+
+    /// Opens a span guard keyed by a static name. The span is recorded
+    /// when the guard is [`finish`](SpanGuard::finish)ed with its end
+    /// cycle; dropping the guard without finishing records nothing
+    /// (virtual time has no implicit "now").
+    pub fn span(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u32,
+        tid: u64,
+        start_cycle: u64,
+    ) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name,
+            cat,
+            pid,
+            tid,
+            start: start_cycle,
+        }
+    }
+
+    /// Records one typed droop event: an instant on the chip's
+    /// timeline plus a `droops_total` counter sample (the running
+    /// total across the whole run).
+    pub fn droop(&self, event: DroopEvent) {
+        if self.mode != TraceMode::Full {
+            return;
+        }
+        let mut state = self.state.lock().expect("tracer lock");
+        state.droops_total += 1;
+        let total = state.droops_total;
+        let pid = chip_pid(event.chip);
+        state.records.push(TraceRecord::Instant {
+            name: "droop".into(),
+            cat: "droop",
+            pid,
+            tid: event.core as u64,
+            ts: event.cycle,
+            args: vec![
+                ("depth_pct", ArgValue::F64(event.depth_pct)),
+                ("workloads", ArgValue::Str(event.workloads.join("+"))),
+                ("phase", ArgValue::Str(event.phase)),
+            ],
+        });
+        state.records.push(TraceRecord::Counter {
+            name: "droops_total".into(),
+            pid,
+            ts: event.cycle,
+            value: total as f64,
+        });
+    }
+
+    /// Appends a worker-filled buffer. The *caller* is responsible for
+    /// merge order: call this from the coordinator, in a fixed order.
+    pub fn merge(&self, buffer: TraceBuffer) {
+        if !self.is_enabled() || buffer.is_empty() {
+            return;
+        }
+        self.state
+            .lock()
+            .expect("tracer lock")
+            .records
+            .extend(buffer.records);
+    }
+
+    /// Droop events recorded so far.
+    pub fn droops_total(&self) -> u64 {
+        self.state.lock().expect("tracer lock").droops_total
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("tracer lock").records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded stream, in record order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.state.lock().expect("tracer lock").records.clone()
+    }
+
+    /// Drains the recorded stream, leaving the tracer empty (the droop
+    /// running total is kept so later counter samples stay monotonic).
+    pub fn take_records(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.state.lock().expect("tracer lock").records)
+    }
+
+    /// Renders the recorded stream as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        crate::export::chrome_trace_json(&self.records())
+    }
+}
+
+/// An open span held by its creator; see [`Tracer::span`].
+#[must_use = "a span guard records nothing until finished"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    cat: &'static str,
+    pid: u32,
+    tid: u64,
+    start: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The span's start cycle.
+    pub fn start_cycle(&self) -> u64 {
+        self.start
+    }
+
+    /// Closes the span at `end_cycle` and records it.
+    pub fn finish(self, end_cycle: u64) {
+        self.finish_with(end_cycle, Vec::new());
+    }
+
+    /// Closes the span at `end_cycle` with arguments.
+    pub fn finish_with(self, end_cycle: u64, args: Args) {
+        self.tracer.complete(
+            self.name,
+            self.cat,
+            self.pid,
+            self.tid,
+            self.start,
+            end_cycle.saturating_sub(self.start),
+            args,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PID_JOBS;
+
+    fn droop(chip: usize, cycle: u64) -> DroopEvent {
+        DroopEvent {
+            chip,
+            core: 0,
+            cycle,
+            depth_pct: 2.9,
+            workloads: vec!["429.mcf".into(), "482.sphinx3".into()],
+            phase: "epoch1".into(),
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.complete("x", "job", PID_JOBS, 0, 0, 10, vec![]);
+        t.instant("y", "job", PID_JOBS, 0, 5, vec![]);
+        t.counter("c", PID_JOBS, 5, 1.0);
+        t.droop(droop(0, 7));
+        t.process_name(PID_JOBS, "jobs");
+        t.span("s", "job", PID_JOBS, 0, 0).finish(4);
+        assert!(t.is_empty());
+        assert_eq!(t.droops_total(), 0);
+    }
+
+    #[test]
+    fn spans_only_skips_droop_events() {
+        let t = Tracer::spans_only();
+        assert!(t.is_enabled());
+        assert!(!t.wants_droop_events());
+        t.complete("x", "job", PID_JOBS, 0, 0, 10, vec![]);
+        t.droop(droop(0, 3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.droops_total(), 0);
+    }
+
+    #[test]
+    fn droop_emits_instant_plus_running_counter() {
+        let t = Tracer::enabled();
+        t.droop(droop(1, 10));
+        t.droop(droop(1, 30));
+        let records = t.records();
+        assert_eq!(records.len(), 4);
+        assert!(records[0].is_instant());
+        assert!(records[1].is_counter());
+        let TraceRecord::Counter { value, pid, .. } = &records[3] else {
+            panic!("expected counter");
+        };
+        assert_eq!(*value, 2.0);
+        assert_eq!(*pid, chip_pid(1));
+        assert_eq!(t.droops_total(), 2);
+    }
+
+    #[test]
+    fn span_guard_records_on_finish_only() {
+        let t = Tracer::enabled();
+        {
+            let _unfinished = t.span("a", "job", PID_JOBS, 0, 100);
+            // Dropped without finish: no record.
+        }
+        t.span("b", "job", PID_JOBS, 1, 100).finish(250);
+        let records = t.records();
+        assert_eq!(records.len(), 1);
+        let TraceRecord::Span { name, ts, dur, .. } = &records[0] else {
+            panic!("expected span");
+        };
+        assert_eq!(name, "b");
+        assert_eq!((*ts, *dur), (100, 150));
+    }
+
+    #[test]
+    fn merge_appends_worker_buffers_in_call_order() {
+        let t = Tracer::enabled();
+        let mut b1 = TraceBuffer::new();
+        b1.span("first", "slice", chip_pid(0), 0, 0, 10, vec![]);
+        let mut b2 = TraceBuffer::new();
+        b2.instant("second", "slice", chip_pid(1), 0, 5, vec![]);
+        t.merge(b1);
+        t.merge(b2);
+        let records = t.records();
+        assert!(records[0].is_span());
+        assert!(records[1].is_instant());
+    }
+
+    #[test]
+    fn take_records_drains_but_keeps_droop_total() {
+        let t = Tracer::enabled();
+        t.droop(droop(0, 1));
+        assert_eq!(t.take_records().len(), 2);
+        assert!(t.is_empty());
+        t.droop(droop(0, 2));
+        let TraceRecord::Counter { value, .. } = &t.records()[1] else {
+            panic!("expected counter");
+        };
+        assert_eq!(*value, 2.0, "running total survives a drain");
+    }
+}

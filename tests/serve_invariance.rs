@@ -7,14 +7,21 @@ use vsmooth::chip::ChipConfig;
 use vsmooth::pdn::DecapConfig;
 use vsmooth::sched::{OnlineDroop, OnlineIpc, PairPolicy, RandomPairing};
 use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig, ServiceReport};
+use vsmooth::trace::{validate_chrome_trace, Tracer};
 
 fn run(policy: &dyn PairPolicy, workers: usize) -> ServiceReport {
+    run_traced(policy, workers, &Tracer::disabled())
+}
+
+fn run_traced(policy: &dyn PairPolicy, workers: usize, tracer: &Tracer) -> ServiceReport {
     let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
     cfg.chips = 3;
     cfg.slice_cycles = 600;
     let service = Service::new(cfg).expect("valid config");
     let jobs = synthetic_jobs(19, 18, 900);
-    service.run(&jobs, policy, workers).expect("service run")
+    service
+        .run_traced(&jobs, policy, workers, tracer)
+        .expect("service run")
 }
 
 #[test]
@@ -39,4 +46,30 @@ fn service_report_is_byte_identical_across_worker_counts() {
             assert_eq!(baseline.render(), other.render());
         }
     }
+}
+
+#[test]
+fn trace_and_metrics_artifacts_are_byte_identical_across_worker_counts() {
+    let artifacts = |workers: usize| {
+        let tracer = Tracer::enabled();
+        let report = run_traced(&OnlineDroop, workers, &tracer);
+        (tracer.to_chrome_json(), report.snapshot.render_prometheus())
+    };
+    let (trace_1, prom_1) = artifacts(1);
+    for workers in [2, 8] {
+        let (trace_n, prom_n) = artifacts(workers);
+        assert_eq!(
+            trace_1, trace_n,
+            "trace JSON differs between 1 and {workers} workers"
+        );
+        assert_eq!(
+            prom_1, prom_n,
+            "Prometheus snapshot differs between 1 and {workers} workers"
+        );
+    }
+    // The invariant artifact is also a well-formed, non-trivial trace.
+    let shape = validate_chrome_trace(&trace_1).expect("valid Chrome trace");
+    assert!(shape.spans > 0 && shape.droops > 0);
+    assert!(prom_1.contains("droops_total{policy=\"Droop(online)\"}"));
+    assert!(prom_1.contains("queue_wait_kcycles{quantile=\"0.95\"}"));
 }
