@@ -27,4 +27,17 @@ grep -q '^{"traceEvents":\[' target/ci_trace.json \
 grep -q 'droops_total{policy=' target/ci_metrics.prom
 grep -q 'queue_wait_kcycles{quantile="0.99"}' target/ci_metrics.prom
 
+echo "== profile demo (artifact validation) =="
+# The demo asserts 1/2/8-worker byte-determinism and droop-count
+# agreement internally; afterwards check the JSON artifact shape.
+cargo run -q --example profile_demo --release -- target/ci_profile.json
+test -s target/ci_profile.json
+grep -q '"schema": "vsmooth-profile-v1"' target/ci_profile.json \
+    || { echo "profile JSON lacks the vsmooth-profile-v1 schema tag"; exit 1; }
+grep -q '"workloads": \[' target/ci_profile.json \
+    || { echo "profile JSON lacks a workloads array"; exit 1; }
+grep -q '"event_shares":' target/ci_profile.json
+grep -q '"share_matrix":' target/ci_profile.json
+grep -q '"resonance_period_cycles":' target/ci_profile.json
+
 echo "CI green."

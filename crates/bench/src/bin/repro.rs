@@ -10,6 +10,9 @@
 //! additionally executes one traced scheduling-service pass and writes
 //! a Chrome trace-event JSON (load it in `chrome://tracing` or
 //! Perfetto) and a Prometheus text snapshot of the labeled metrics.
+//! `--profile-out <path>` upgrades that pass to a profiled one and
+//! writes the droop root-cause attribution report as a JSON artifact
+//! (see `vsmooth-profile`).
 
 use vsmooth::report;
 use vsmooth::VsmoothError;
@@ -17,14 +20,18 @@ use vsmooth::VsmoothError;
 fn main() -> Result<(), VsmoothError> {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => trace_out = args.next(),
             "--metrics-out" => metrics_out = args.next(),
+            "--profile-out" => profile_out = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: repro [--trace-out <path>] [--metrics-out <path>]");
+                eprintln!(
+                    "usage: repro [--trace-out <path>] [--metrics-out <path>] [--profile-out <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -99,9 +106,16 @@ fn main() -> Result<(), VsmoothError> {
         report::serve_comparison(&lab.serve_comparison(2010, 120)?)
     );
 
-    if trace_out.is_some() || metrics_out.is_some() {
+    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
         let tracer = vsmooth::trace::Tracer::enabled();
-        let traced = lab.serve_traced(2010, 120, &tracer)?;
+        // Profiling rides on the same service pass: the schedule (and
+        // thus the trace and metrics) is identical either way.
+        let (traced, profile) = if profile_out.is_some() {
+            let (report, profile) = lab.serve_profiled(2010, 120, &tracer)?;
+            (report, Some(profile))
+        } else {
+            (lab.serve_traced(2010, 120, &tracer)?, None)
+        };
         if let Some(path) = &trace_out {
             std::fs::write(path, tracer.to_chrome_json()).expect("write trace JSON");
             println!(
@@ -113,6 +127,14 @@ fn main() -> Result<(), VsmoothError> {
         if let Some(path) = &metrics_out {
             std::fs::write(path, traced.snapshot.render_prometheus()).expect("write metrics");
             println!("wrote Prometheus metrics snapshot to {path}");
+        }
+        if let (Some(path), Some(profile)) = (&profile_out, &profile) {
+            std::fs::write(path, profile.to_json()).expect("write profile JSON");
+            println!(
+                "wrote droop attribution profile ({} droops, {} co-schedules) to {path}",
+                profile.total_droops,
+                profile.workloads.len()
+            );
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::session::{DroopCrossing, MeasureState};
 use crate::stats::RunStats;
+use crate::window::{DroopWindow, WindowConfig};
 use crate::ChipError;
 use serde::{Deserialize, Serialize};
 use vsmooth_pdn::{DecapConfig, DiscreteStateSpace, LadderConfig, VrmRipple};
@@ -312,6 +313,41 @@ impl Chip {
         Ok((state.into_stats(self), crossings))
     }
 
+    /// Like [`Chip::run_with_droop_log`], but every crossing
+    /// additionally freezes a triggered pre/post waveform
+    /// [`DroopWindow`] shaped by `window`: per-cycle voltage deviation
+    /// and per-core current around the trigger, the counter deltas over
+    /// the window and the stall events inside it — the raw material for
+    /// droop root-cause attribution (`vsmooth-profile`).
+    ///
+    /// Windows still collecting their tail when the run ends are
+    /// force-finalized (marked [`truncated`](DroopWindow::truncated)),
+    /// so exactly one window per crossing is returned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Chip::run`].
+    pub fn run_with_droop_windows(
+        &mut self,
+        sources: &mut [&mut dyn StimulusSource],
+        cycles: u64,
+        interval_cycles: u64,
+        margin_pct: f64,
+        window: WindowConfig,
+    ) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
+        self.check_sources(sources.len())?;
+        if interval_cycles == 0 {
+            return Err(ChipError::InvalidConfig("interval_cycles must be non-zero"));
+        }
+        self.warm_up(sources);
+        let mut state = MeasureState::new(self, interval_cycles);
+        state.enable_window_capture(self, margin_pct, window);
+        state.run(self, sources, cycles, None, None);
+        let crossings = state.take_droop_crossings();
+        let windows = state.flush_droop_windows();
+        Ok((state.into_stats(self), crossings, windows))
+    }
+
     /// Like [`Chip::run`], but consults `hook` before every cycle with
     /// the previously sensed voltage; the hook decides whether the cycle
     /// executes the program or a rollback (see
@@ -374,6 +410,21 @@ impl Chip {
     /// Snapshot of every core's performance counters.
     pub fn core_counters(&self) -> Vec<vsmooth_uarch::PerfCounters> {
         self.cores.iter().map(|c| *c.counters()).collect()
+    }
+
+    /// Number of cores on the chip.
+    pub(crate) fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// One core's counters, borrowed (no per-cycle allocation).
+    pub(crate) fn core_perf(&self, core: usize) -> &vsmooth_uarch::PerfCounters {
+        self.cores[core].counters()
+    }
+
+    /// One core's current draw after the last tick, in amperes.
+    pub(crate) fn core_current(&self, core: usize) -> f64 {
+        self.cores[core].current()
     }
 }
 

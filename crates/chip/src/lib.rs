@@ -35,6 +35,7 @@ pub mod sense;
 pub mod session;
 pub mod stats;
 pub mod topology;
+pub mod window;
 
 pub use crate::chip::{Chip, ChipConfig};
 pub use fidelity::Fidelity;
@@ -44,11 +45,13 @@ pub use probe::{
 };
 pub use resilient::ResilientRunStats;
 pub use runner::{
-    run_pair, run_pair_logged, run_workload, run_workload_logged, workload_pair_intervals,
+    run_pair, run_pair_logged, run_pair_profiled, run_workload, run_workload_logged,
+    run_workload_profiled, workload_pair_intervals,
 };
 pub use session::{ChipSession, DroopCrossing, SliceStats};
 pub use stats::{RunStats, PHASE_MARGIN_PCT};
 pub use topology::{split_vs_connected, SupplyComparison};
+pub use window::{DroopWindow, WindowConfig, WindowEvent};
 
 use std::error::Error;
 use std::fmt;

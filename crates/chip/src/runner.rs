@@ -5,9 +5,22 @@ use crate::chip::{Chip, ChipConfig};
 use crate::fidelity::Fidelity;
 use crate::session::DroopCrossing;
 use crate::stats::RunStats;
+use crate::window::{DroopWindow, WindowConfig};
 use crate::ChipError;
 use vsmooth_uarch::{IdleLoop, StimulusSource};
 use vsmooth_workload::{Threading, Workload};
+
+/// How much per-event instrumentation a runner-level measurement
+/// carries along.
+#[derive(Debug, Clone, Copy)]
+enum Instrument {
+    /// Aggregate statistics only.
+    Plain,
+    /// Timestamped droop crossings at the given margin.
+    Logged(f64),
+    /// Crossings plus a triggered waveform window per crossing.
+    Profiled(f64, WindowConfig),
+}
 
 /// Runs one workload to completion on the chip.
 ///
@@ -22,7 +35,7 @@ pub fn run_workload(
     workload: &Workload,
     fidelity: Fidelity,
 ) -> Result<RunStats, ChipError> {
-    run_workload_inner(cfg, workload, fidelity, None).map(|(stats, _)| stats)
+    run_workload_inner(cfg, workload, fidelity, Instrument::Plain).map(|(stats, _, _)| stats)
 }
 
 /// Like [`run_workload`], but also returns every droop event at the
@@ -37,15 +50,38 @@ pub fn run_workload_logged(
     fidelity: Fidelity,
     margin_pct: f64,
 ) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
-    run_workload_inner(cfg, workload, fidelity, Some(margin_pct))
+    run_workload_inner(cfg, workload, fidelity, Instrument::Logged(margin_pct))
+        .map(|(stats, crossings, _)| (stats, crossings))
+}
+
+/// Like [`run_workload_logged`], but every crossing additionally
+/// freezes a triggered pre/post waveform [`DroopWindow`] shaped by
+/// `window` — the capture an attribution profiler consumes.
+///
+/// # Errors
+///
+/// Same conditions as [`run_workload`].
+pub fn run_workload_profiled(
+    cfg: &ChipConfig,
+    workload: &Workload,
+    fidelity: Fidelity,
+    margin_pct: f64,
+    window: WindowConfig,
+) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
+    run_workload_inner(
+        cfg,
+        workload,
+        fidelity,
+        Instrument::Profiled(margin_pct, window),
+    )
 }
 
 fn run_workload_inner(
     cfg: &ChipConfig,
     workload: &Workload,
     fidelity: Fidelity,
-    margin_pct: Option<f64>,
-) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
+    instrument: Instrument,
+) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
     let cpi = fidelity.cycles_per_interval();
     let total = u64::from(workload.total_intervals()) * cpi;
     let mut chip = Chip::new(cfg.clone())?;
@@ -57,7 +93,7 @@ fn run_workload_inner(
             let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(cfg.num_cores);
             sources.push(&mut stream);
             sources.extend(idles.iter_mut().map(|i| i as &mut dyn StimulusSource));
-            run_maybe_logged(&mut chip, &mut sources, total, cpi, margin_pct)
+            run_instrumented(&mut chip, &mut sources, total, cpi, instrument)
         }
         Threading::Multi => {
             let mut streams: Vec<_> = (0..cfg.num_cores as u64)
@@ -67,21 +103,28 @@ fn run_workload_inner(
                 .iter_mut()
                 .map(|s| s as &mut dyn StimulusSource)
                 .collect();
-            run_maybe_logged(&mut chip, &mut sources, total, cpi, margin_pct)
+            run_instrumented(&mut chip, &mut sources, total, cpi, instrument)
         }
     }
 }
 
-fn run_maybe_logged(
+fn run_instrumented(
     chip: &mut Chip,
     sources: &mut [&mut dyn StimulusSource],
     total: u64,
     cpi: u64,
-    margin_pct: Option<f64>,
-) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
-    match margin_pct {
-        Some(margin) => chip.run_with_droop_log(sources, total, cpi, margin),
-        None => chip.run(sources, total, cpi).map(|s| (s, Vec::new())),
+    instrument: Instrument,
+) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
+    match instrument {
+        Instrument::Plain => chip
+            .run(sources, total, cpi)
+            .map(|s| (s, Vec::new(), Vec::new())),
+        Instrument::Logged(margin) => chip
+            .run_with_droop_log(sources, total, cpi, margin)
+            .map(|(s, c)| (s, c, Vec::new())),
+        Instrument::Profiled(margin, window) => {
+            chip.run_with_droop_windows(sources, total, cpi, margin, window)
+        }
     }
 }
 
@@ -100,7 +143,7 @@ pub fn run_pair(
     b: &Workload,
     fidelity: Fidelity,
 ) -> Result<RunStats, ChipError> {
-    run_pair_inner(cfg, a, b, fidelity, None).map(|(stats, _)| stats)
+    run_pair_inner(cfg, a, b, fidelity, Instrument::Plain).map(|(stats, _, _)| stats)
 }
 
 /// Like [`run_pair`], but also returns every droop event at the given
@@ -116,7 +159,31 @@ pub fn run_pair_logged(
     fidelity: Fidelity,
     margin_pct: f64,
 ) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
-    run_pair_inner(cfg, a, b, fidelity, Some(margin_pct))
+    run_pair_inner(cfg, a, b, fidelity, Instrument::Logged(margin_pct))
+        .map(|(stats, crossings, _)| (stats, crossings))
+}
+
+/// Like [`run_pair_logged`], but every crossing additionally freezes a
+/// triggered pre/post waveform [`DroopWindow`] shaped by `window`.
+///
+/// # Errors
+///
+/// Same conditions as [`run_pair`].
+pub fn run_pair_profiled(
+    cfg: &ChipConfig,
+    a: &Workload,
+    b: &Workload,
+    fidelity: Fidelity,
+    margin_pct: f64,
+    window: WindowConfig,
+) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
+    run_pair_inner(
+        cfg,
+        a,
+        b,
+        fidelity,
+        Instrument::Profiled(margin_pct, window),
+    )
 }
 
 fn run_pair_inner(
@@ -124,8 +191,8 @@ fn run_pair_inner(
     a: &Workload,
     b: &Workload,
     fidelity: Fidelity,
-    margin_pct: Option<f64>,
-) -> Result<(RunStats, Vec<DroopCrossing>), ChipError> {
+    instrument: Instrument,
+) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
     if cfg.num_cores != 2 {
         return Err(ChipError::InvalidConfig(
             "pair runs require a two-core chip",
@@ -142,7 +209,7 @@ fn run_pair_inner(
     sa.set_looping(true);
     sb.set_looping(true);
     let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut sa, &mut sb];
-    run_maybe_logged(&mut chip, &mut sources, total, cpi, margin_pct)
+    run_instrumented(&mut chip, &mut sources, total, cpi, instrument)
 }
 
 /// Duration (in intervals) of a pair run: the longer program's length.
@@ -229,6 +296,39 @@ mod tests {
         for ev in &crossings {
             assert!(ev.cycle < stats.cycles);
             assert!(ev.depth_pct >= 2.5);
+        }
+    }
+
+    #[test]
+    fn profiled_runs_match_logged_runs() {
+        let w = by_name("482.sphinx3").unwrap();
+        let f = Fidelity::Custom(2_000);
+        let (logged, crossings) = run_workload_logged(&cfg(), &w, f, 2.5).unwrap();
+        let (profiled, pcrossings, windows) =
+            run_workload_profiled(&cfg(), &w, f, 2.5, WindowConfig::default()).unwrap();
+        assert_eq!(logged, profiled);
+        assert_eq!(crossings, pcrossings);
+        assert_eq!(windows.len(), crossings.len());
+        assert_eq!(windows.len() as u64, profiled.emergencies(2.5));
+    }
+
+    #[test]
+    fn profiled_pair_run_returns_windows() {
+        let a = by_name("482.sphinx3").unwrap();
+        let b = by_name("429.mcf").unwrap();
+        let (stats, crossings, windows) = run_pair_profiled(
+            &cfg(),
+            &a,
+            &b,
+            Fidelity::Custom(1_000),
+            2.5,
+            WindowConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(crossings.len(), windows.len());
+        assert_eq!(windows.len() as u64, stats.emergencies(2.5));
+        for (win, crossing) in windows.iter().zip(&crossings) {
+            assert_eq!(win.trigger_cycle, crossing.cycle);
         }
     }
 

@@ -16,6 +16,7 @@ use crate::chip::Chip;
 use crate::resilient::CycleControl;
 use crate::sense::{CrossingGrid, VoltageSensor};
 use crate::stats::{RunStats, PHASE_MARGIN_PCT};
+use crate::window::{DroopWindow, WindowCapture, WindowConfig};
 use crate::ChipError;
 use vsmooth_uarch::{PerfCounters, StimulusSource};
 
@@ -56,6 +57,7 @@ pub(crate) struct MeasureState {
     measured_cycles: u64,
     last_sensed: f64,
     capture: Option<DroopCapture>,
+    window: Option<WindowCapture>,
 }
 
 impl MeasureState {
@@ -72,6 +74,7 @@ impl MeasureState {
             measured_cycles: 0,
             last_sensed: chip.last_sensed(),
             capture: None,
+            window: None,
         }
     }
 
@@ -90,6 +93,39 @@ impl MeasureState {
     pub(crate) fn take_droop_crossings(&mut self) -> Vec<DroopCrossing> {
         match self.capture.as_mut() {
             Some(cap) => std::mem::take(&mut cap.events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Starts triggered waveform capture: droop crossings are logged at
+    /// `margin_pct` (re-arming the event capture) and each one
+    /// additionally freezes a pre/post [`DroopWindow`].
+    pub(crate) fn enable_window_capture(
+        &mut self,
+        chip: &Chip,
+        margin_pct: f64,
+        cfg: WindowConfig,
+    ) {
+        self.enable_droop_capture(margin_pct);
+        self.window = Some(WindowCapture::new(chip, cfg));
+    }
+
+    /// Drains the windows whose post-trigger tail is complete.
+    pub(crate) fn take_droop_windows(&mut self) -> Vec<DroopWindow> {
+        match self.window.as_mut() {
+            Some(w) => w.take_windows(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Force-finalizes in-flight windows (truncated tails) and drains
+    /// everything not yet taken.
+    pub(crate) fn flush_droop_windows(&mut self) -> Vec<DroopWindow> {
+        match self.window.as_mut() {
+            Some(w) => {
+                w.flush();
+                w.take_windows()
+            }
             None => Vec::new(),
         }
     }
@@ -118,6 +154,7 @@ impl MeasureState {
             min_dev = min_dev.min(dev);
             self.droops.observe(dev);
             self.overshoots.observe(dev);
+            let mut crossing_started = false;
             if let Some(cap) = self.capture.as_mut() {
                 let depth = -dev;
                 if depth >= cap.margin_pct {
@@ -132,10 +169,14 @@ impl MeasureState {
                             cycle: self.measured_cycles,
                             depth_pct: depth,
                         });
+                        crossing_started = true;
                     }
                 } else {
                     cap.below = false;
                 }
+            }
+            if let Some(win) = self.window.as_mut() {
+                win.on_cycle(chip, self.measured_cycles, dev, crossing_started);
             }
             if let Some((buf, limit)) = trace.as_mut() {
                 if c < *limit {
@@ -281,12 +322,44 @@ impl ChipSession {
         Ok(self.state.run(&mut self.chip, sources, cycles, None, None))
     }
 
+    /// Like [`ChipSession::begin`], but with profiling armed from the
+    /// first measured cycle: droop crossings are logged at `margin_pct`
+    /// and every crossing freezes a pre/post waveform [`DroopWindow`]
+    /// shaped by `window` (see [`ChipSession::enable_profiling`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChipSession::begin`].
+    pub fn begin_profiled(
+        chip: Chip,
+        warmup_sources: &mut [&mut dyn StimulusSource],
+        interval_cycles: u64,
+        margin_pct: f64,
+        window: WindowConfig,
+    ) -> Result<Self, ChipError> {
+        let mut session = Self::begin(chip, warmup_sources, interval_cycles)?;
+        session.enable_profiling(margin_pct, window);
+        Ok(session)
+    }
+
     /// Starts logging individual [`DroopCrossing`] events at the given
     /// margin (percent below nominal). Only cycles run after this call
     /// are captured; call once right after [`ChipSession::begin`] to
-    /// cover the whole session.
+    /// cover the whole session. Calling again (at any margin) re-arms
+    /// the capture: previously captured but undrained events are
+    /// dropped and the hysteresis state resets.
     pub fn capture_droops(&mut self, margin_pct: f64) {
         self.state.enable_droop_capture(margin_pct);
+    }
+
+    /// Starts triggered waveform profiling: arms droop capture at
+    /// `margin_pct` (like [`ChipSession::capture_droops`]) and
+    /// additionally snapshots a [`DroopWindow`] around every crossing —
+    /// the lead-in ring plus a post-trigger tail of per-cycle voltage
+    /// deviation, per-core current, counter deltas and stall events.
+    pub fn enable_profiling(&mut self, margin_pct: f64, window: WindowConfig) {
+        self.state
+            .enable_window_capture(&self.chip, margin_pct, window);
     }
 
     /// Drains the droop events captured since the last call (empty if
@@ -295,6 +368,24 @@ impl ChipSession {
     /// them onto its own virtual timeline.
     pub fn take_droop_crossings(&mut self) -> Vec<DroopCrossing> {
         self.state.take_droop_crossings()
+    }
+
+    /// Drains the captured windows whose post-trigger tail is complete
+    /// (empty unless [`ChipSession::enable_profiling`] was called).
+    /// Windows come out in trigger order; a window triggered close to
+    /// the end of a slice surfaces once its tail has run, so drain
+    /// again later — or call [`ChipSession::flush_droop_windows`] at
+    /// the end of the measurement.
+    pub fn take_droop_windows(&mut self) -> Vec<DroopWindow> {
+        self.state.take_droop_windows()
+    }
+
+    /// Force-finalizes in-flight windows (marked
+    /// [`truncated`](DroopWindow::truncated)) and drains every window
+    /// not yet taken. Call once when the measurement ends so no
+    /// triggered capture is lost.
+    pub fn flush_droop_windows(&mut self) -> Vec<DroopWindow> {
+        self.state.flush_droop_windows()
     }
 
     /// Measured cycles so far.
@@ -457,6 +548,182 @@ mod tests {
             assert!(ev.depth_pct >= 2.5);
             assert!(ev.depth_pct <= stats.max_droop_pct() + 1e-9);
         }
+    }
+
+    #[test]
+    fn take_droop_crossings_drains() {
+        // Drain semantics: a second call right after a drain is empty,
+        // and draining again after more cycles only returns new events.
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        session.capture_droops(2.5);
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        session.run_slice(&mut sources, 15_000).unwrap();
+        let first = session.take_droop_crossings();
+        assert!(!first.is_empty(), "sphinx3 should droop past 2.5%");
+        assert!(session.take_droop_crossings().is_empty());
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        session.run_slice(&mut sources, 15_000).unwrap();
+        let second = session.take_droop_crossings();
+        for ev in &second {
+            assert!(ev.cycle >= 15_000, "drained event from the first slice");
+        }
+        let stats = session.finish();
+        assert_eq!((first.len() + second.len()) as u64, stats.emergencies(2.5));
+    }
+
+    #[test]
+    fn capture_droops_rearms_on_margin_change() {
+        // Re-arming at a new margin drops undrained events and counts
+        // crossings at the new threshold from that point on.
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        session.capture_droops(2.5);
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        session.run_slice(&mut sources, 10_000).unwrap();
+
+        let before_rearm = session.stats().emergencies(3.0);
+        session.capture_droops(3.0);
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        session.run_slice(&mut sources, 20_000).unwrap();
+        let events = session.take_droop_crossings();
+        // The re-arm discarded the 2.5% events of the first slice.
+        for ev in &events {
+            assert!(ev.cycle >= 10_000);
+            assert!(ev.depth_pct >= 3.0);
+        }
+        let stats = session.finish();
+        assert_eq!(
+            events.len() as u64,
+            stats.emergencies(3.0) - before_rearm,
+            "post-re-arm capture must match the grid at the new margin"
+        );
+    }
+
+    #[test]
+    fn zero_cycle_slice_rates_are_zero() {
+        let (mut a, mut b) = idle_pair();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let mut session = ChipSession::begin(chip(), &mut warm, 1_000).unwrap();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let slice = session.run_slice(&mut sources, 0).unwrap();
+        assert_eq!(slice.cycles, 0);
+        assert_eq!(slice.droops_per_kilocycle(), 0.0);
+        assert!(slice.droops_per_kilocycle().is_finite());
+    }
+
+    #[test]
+    fn droop_windows_match_crossings_and_counters() {
+        // Tentpole invariants at the chip layer: one window per
+        // crossing, window event lists equal the windowed counter
+        // deltas, and windows carry the full requested span.
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let wcfg = WindowConfig {
+            pre_cycles: 48,
+            post_cycles: 80,
+        };
+        let mut session = ChipSession::begin_profiled(chip(), &mut warm, 5_000, 2.5, wcfg).unwrap();
+        let mut windows = Vec::new();
+        let mut crossings = Vec::new();
+        for _ in 0..6 {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, 5_000).unwrap();
+            windows.extend(session.take_droop_windows());
+            crossings.extend(session.take_droop_crossings());
+        }
+        windows.extend(session.flush_droop_windows());
+        let stats = session.finish();
+        assert_eq!(windows.len() as u64, stats.emergencies(2.5));
+        assert_eq!(windows.len(), crossings.len());
+        assert!(!windows.is_empty(), "sphinx3 should droop past 2.5%");
+        for (win, crossing) in windows.iter().zip(&crossings) {
+            assert_eq!(win.trigger_cycle, crossing.cycle);
+            assert!(win.depth_pct >= 2.5);
+            // The trigger sits inside the window, lead-in ≤ pre.
+            assert!(win.start_cycle <= win.trigger_cycle);
+            assert!(win.trigger_cycle - win.start_cycle < wcfg.pre_cycles as u64);
+            if !win.truncated {
+                assert_eq!(win.end_cycle() - win.trigger_cycle, wcfg.post_cycles as u64);
+            }
+            // Every per-cycle series covers the same span.
+            assert_eq!(win.core_currents.len(), 2);
+            for series in &win.core_currents {
+                assert_eq!(series.len(), win.len());
+            }
+            // Counter deltas span exactly the window: the cycle count
+            // matches and, per core and event kind, the delta equals
+            // the number of logged window events — the attribution
+            // layer's base invariant.
+            for (core, delta) in win.counter_deltas.iter().enumerate() {
+                assert_eq!(delta.cycles(), win.len() as u64);
+                for e in vsmooth_uarch::StallEvent::ALL {
+                    let logged = win
+                        .events
+                        .iter()
+                        .filter(|ev| ev.core == core && ev.event == e)
+                        .count() as u64;
+                    assert_eq!(
+                        delta.event_count(e),
+                        logged,
+                        "core {core} {} delta vs window events",
+                        e.label()
+                    );
+                }
+            }
+            // Events are cycle-ordered and inside the window.
+            for pair in win.events.windows(2) {
+                assert!(pair[0].cycle <= pair[1].cycle);
+            }
+            for ev in &win.events {
+                assert!(ev.cycle >= win.start_cycle && ev.cycle <= win.end_cycle());
+            }
+        }
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_measurement() {
+        let w = by_name("473.astar").unwrap();
+        let run = |profiled: bool| {
+            let mut s = w.stream(0, 5_000);
+            s.set_looping(true);
+            let mut idle = IdleLoop::default();
+            let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+            if profiled {
+                session.enable_profiling(PHASE_MARGIN_PCT, WindowConfig::default());
+            }
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, 15_000).unwrap();
+            session.finish()
+        };
+        let plain = run(false);
+        let profiled = run(true);
+        assert_eq!(plain.sensor, profiled.sensor);
+        assert_eq!(plain.droops, profiled.droops);
+        assert_eq!(plain.core_counters, profiled.core_counters);
+    }
+
+    #[test]
+    fn take_droop_windows_is_empty_without_profiling() {
+        let (mut a, mut b) = idle_pair();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let mut session = ChipSession::begin(chip(), &mut warm, 2_000).unwrap();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        session.run_slice(&mut sources, 2_000).unwrap();
+        assert!(session.take_droop_windows().is_empty());
+        assert!(session.flush_droop_windows().is_empty());
     }
 
     #[test]

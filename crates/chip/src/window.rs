@@ -1,0 +1,289 @@
+//! Triggered droop-window capture: an oscilloscope for the chip.
+//!
+//! The paper's root-cause methodology is scope-style: trigger on a
+//! margin crossing, keep the waveform around it, and read off which
+//! microarchitectural events led in (Sec. III, Figs. 7–8). A
+//! [`WindowCapture`] rides inside the measurement loop and keeps a
+//! rolling lead-in of per-cycle voltage deviation, per-core current
+//! and per-core counter snapshots. On every
+//! [`DroopCrossing`](crate::DroopCrossing) it freezes that lead-in and
+//! keeps recording for a post-trigger tail, yielding a [`DroopWindow`]
+//! that an attribution engine (`vsmooth-profile`) can score offline.
+//!
+//! The capture is purely observational — it never feeds back into the
+//! simulation — and costs one `Option` branch per cycle when disabled.
+
+use crate::chip::Chip;
+use std::collections::VecDeque;
+use vsmooth_uarch::{PerfCounters, StallEvent};
+
+/// Shape of the capture window around each droop trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Lead-in samples kept before and including the trigger cycle
+    /// (clamped to at least 1 so the trigger itself is always present).
+    pub pre_cycles: usize,
+    /// Samples recorded after the trigger cycle.
+    pub post_cycles: usize,
+}
+
+impl Default for WindowConfig {
+    /// 96 lead-in + 160 tail cycles: several resonance periods of the
+    /// paper's platform (~9–19 cycles at 1.86 GHz) on either side of
+    /// the trigger, enough for autocorrelation to find the ringing.
+    fn default() -> Self {
+        Self {
+            pre_cycles: 96,
+            post_cycles: 160,
+        }
+    }
+}
+
+/// One stall event observed inside a capture window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowEvent {
+    /// Session-absolute measured cycle the event fired on.
+    pub cycle: u64,
+    /// Core the event fired on.
+    pub core: usize,
+    /// Which stall event fired.
+    pub event: StallEvent,
+}
+
+/// A captured pre/post waveform window around one droop crossing.
+///
+/// Sample `i` of every per-cycle series belongs to measured cycle
+/// `start_cycle + i`; the trigger sits at
+/// `trigger_cycle - start_cycle`. The counter deltas span exactly the
+/// window's cycles, so for every core and event kind the delta's
+/// event count equals the number of matching [`WindowEvent`]s — the
+/// invariant the attribution layer builds on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroopWindow {
+    /// Session-absolute cycle of the margin crossing (the trigger).
+    pub trigger_cycle: u64,
+    /// Deepest excursion from the trigger to the end of the window,
+    /// percent below nominal.
+    pub depth_pct: f64,
+    /// Session-absolute cycle of the first sample.
+    pub start_cycle: u64,
+    /// Whether the post-trigger tail was cut short by a flush.
+    pub truncated: bool,
+    /// Per-cycle sensed voltage deviation, percent of nominal
+    /// (negative = below nominal).
+    pub voltage_dev_pct: Vec<f64>,
+    /// Per-core per-cycle current draw in amperes (`[core][sample]`).
+    pub core_currents: Vec<Vec<f64>>,
+    /// Per-core counter deltas over exactly the window's span.
+    pub counter_deltas: Vec<PerfCounters>,
+    /// Stall events inside the window, in cycle order.
+    pub events: Vec<WindowEvent>,
+}
+
+impl DroopWindow {
+    /// Number of per-cycle samples in the window.
+    pub fn len(&self) -> usize {
+        self.voltage_dev_pct.len()
+    }
+
+    /// Whether the window holds no samples (capture never produces
+    /// this: the trigger cycle is always included).
+    pub fn is_empty(&self) -> bool {
+        self.voltage_dev_pct.is_empty()
+    }
+
+    /// Session-absolute cycle of the last sample.
+    pub fn end_cycle(&self) -> u64 {
+        self.start_cycle + self.len().max(1) as u64 - 1
+    }
+
+    /// Events at or before the trigger cycle — the lead-in the
+    /// attribution engine weighs.
+    pub fn lead_in_events(&self) -> impl Iterator<Item = &WindowEvent> {
+        let trigger = self.trigger_cycle;
+        self.events.iter().filter(move |e| e.cycle <= trigger)
+    }
+}
+
+/// A window still collecting its post-trigger tail.
+#[derive(Debug, Clone)]
+struct PendingWindow {
+    window: DroopWindow,
+    /// Counter snapshots from just before the window's first cycle.
+    base: Vec<PerfCounters>,
+    /// Post-trigger samples still to record.
+    remaining: usize,
+}
+
+/// Ring-buffer state for triggered window capture.
+#[derive(Debug, Clone)]
+pub(crate) struct WindowCapture {
+    cfg: WindowConfig,
+    cores: usize,
+    dev_ring: VecDeque<f64>,
+    current_rings: Vec<VecDeque<f64>>,
+    counter_rings: Vec<VecDeque<PerfCounters>>,
+    /// Counter snapshots from just before the oldest ring sample.
+    base: Vec<PerfCounters>,
+    /// Counter snapshots after the previous cycle (event detection).
+    prev: Vec<PerfCounters>,
+    /// Counter snapshots after the current cycle (scratch).
+    cur: Vec<PerfCounters>,
+    /// Events within the ring's span, oldest first.
+    events: VecDeque<WindowEvent>,
+    /// Events that fired on the current cycle (scratch).
+    fresh: Vec<WindowEvent>,
+    pending: VecDeque<PendingWindow>,
+    done: Vec<DroopWindow>,
+}
+
+impl WindowCapture {
+    pub(crate) fn new(chip: &Chip, cfg: WindowConfig) -> Self {
+        let cfg = WindowConfig {
+            pre_cycles: cfg.pre_cycles.max(1),
+            post_cycles: cfg.post_cycles,
+        };
+        let cores = chip.core_count();
+        let snap: Vec<PerfCounters> = (0..cores).map(|c| *chip.core_perf(c)).collect();
+        Self {
+            cfg,
+            cores,
+            dev_ring: VecDeque::with_capacity(cfg.pre_cycles + 1),
+            current_rings: (0..cores)
+                .map(|_| VecDeque::with_capacity(cfg.pre_cycles + 1))
+                .collect(),
+            counter_rings: (0..cores)
+                .map(|_| VecDeque::with_capacity(cfg.pre_cycles + 1))
+                .collect(),
+            base: snap.clone(),
+            prev: snap.clone(),
+            cur: snap,
+            events: VecDeque::new(),
+            fresh: Vec::new(),
+            pending: VecDeque::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Records one measured cycle. `triggered` marks a new
+    /// [`DroopCrossing`](crate::DroopCrossing) starting on this cycle.
+    pub(crate) fn on_cycle(&mut self, chip: &Chip, cycle: u64, dev_pct: f64, triggered: bool) {
+        // 1. Snapshot every core and detect freshly fired events by
+        //    diffing the free-running counters, exactly the way the
+        //    window's counter deltas are computed — so per-window event
+        //    lists and counter deltas agree by construction.
+        self.fresh.clear();
+        for core in 0..self.cores {
+            let now = *chip.core_perf(core);
+            for event in StallEvent::ALL {
+                let before = self.prev[core].event_count(event);
+                let after = now.event_count(event);
+                for _ in before..after {
+                    self.fresh.push(WindowEvent { cycle, core, event });
+                }
+            }
+            self.cur[core] = now;
+        }
+
+        // 2. Push this cycle into the lead-in rings, evicting the
+        //    oldest sample once full. The evicted counter snapshot
+        //    becomes the base "just before the oldest sample".
+        self.dev_ring.push_back(dev_pct);
+        for (core, ring) in self.current_rings.iter_mut().enumerate() {
+            ring.push_back(chip.core_current(core));
+        }
+        for (core, ring) in self.counter_rings.iter_mut().enumerate() {
+            ring.push_back(self.cur[core]);
+        }
+        if self.dev_ring.len() > self.cfg.pre_cycles {
+            self.dev_ring.pop_front();
+            for ring in &mut self.current_rings {
+                ring.pop_front();
+            }
+            for (core, ring) in self.counter_rings.iter_mut().enumerate() {
+                if let Some(snap) = ring.pop_front() {
+                    self.base[core] = snap;
+                }
+            }
+        }
+
+        // 3. Keep the event log pruned to the ring's span, then append
+        //    this cycle's events.
+        let oldest = cycle + 1 - self.dev_ring.len() as u64;
+        while self.events.front().is_some_and(|e| e.cycle < oldest) {
+            self.events.pop_front();
+        }
+        self.events.extend(self.fresh.iter().copied());
+
+        // 4. Grow every in-flight window by this sample; finalize the
+        //    ones whose tail is complete (FIFO: equal tail lengths mean
+        //    the oldest trigger always finishes first).
+        for p in &mut self.pending {
+            p.window.voltage_dev_pct.push(dev_pct);
+            for (core, series) in p.window.core_currents.iter_mut().enumerate() {
+                series.push(chip.core_current(core));
+            }
+            p.window.events.extend(self.fresh.iter().copied());
+            p.window.depth_pct = p.window.depth_pct.max(-dev_pct);
+            p.remaining -= 1;
+        }
+        while self.pending.front().is_some_and(|p| p.remaining == 0) {
+            let p = self.pending.pop_front().expect("front checked");
+            self.done.push(Self::sealed(p, &self.cur, false));
+        }
+
+        // 5. A new crossing freezes the rings (which already include
+        //    this cycle) as the lead-in of a fresh window.
+        if triggered {
+            let window = DroopWindow {
+                trigger_cycle: cycle,
+                depth_pct: -dev_pct,
+                start_cycle: oldest,
+                truncated: false,
+                voltage_dev_pct: self.dev_ring.iter().copied().collect(),
+                core_currents: self
+                    .current_rings
+                    .iter()
+                    .map(|r| r.iter().copied().collect())
+                    .collect(),
+                counter_deltas: Vec::new(),
+                events: self.events.iter().copied().collect(),
+            };
+            let p = PendingWindow {
+                window,
+                base: self.base.clone(),
+                remaining: self.cfg.post_cycles,
+            };
+            if p.remaining == 0 {
+                self.done.push(Self::sealed(p, &self.cur, false));
+            } else {
+                self.pending.push_back(p);
+            }
+        }
+
+        std::mem::swap(&mut self.prev, &mut self.cur);
+    }
+
+    /// Completes a pending window against the latest counter snapshots.
+    fn sealed(mut p: PendingWindow, now: &[PerfCounters], truncated: bool) -> DroopWindow {
+        p.window.truncated = truncated;
+        p.window.counter_deltas = now
+            .iter()
+            .zip(&p.base)
+            .map(|(now, base)| now.delta_since(base))
+            .collect();
+        p.window
+    }
+
+    /// Force-finalizes every in-flight window (truncated tails).
+    pub(crate) fn flush(&mut self) {
+        while let Some(p) = self.pending.pop_front() {
+            self.done.push(Self::sealed(p, &self.prev, true));
+        }
+    }
+
+    /// Drains the completed windows captured so far.
+    pub(crate) fn take_windows(&mut self) -> Vec<DroopWindow> {
+        std::mem::take(&mut self.done)
+    }
+}

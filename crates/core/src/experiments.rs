@@ -547,6 +547,41 @@ impl Lab {
             .run_traced(&stream, &OnlineDroop, self.cfg.threads, tracer)
             .map_err(VsmoothError::from)
     }
+
+    /// The run behind `repro --profile-out`: like [`Lab::serve_traced`]
+    /// but with droop attribution — every margin crossing freezes a
+    /// triggered waveform window that is scored into a per-co-schedule
+    /// [`ProfileReport`](vsmooth_profile::ProfileReport) (and, when
+    /// `tracer` records, into `droop_window` spans on the chip
+    /// timelines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors.
+    pub fn serve_profiled(
+        &self,
+        seed: u64,
+        jobs: usize,
+        tracer: &vsmooth_trace::Tracer,
+    ) -> Result<(vsmooth_serve::ServiceReport, vsmooth_profile::ProfileReport), VsmoothError> {
+        use vsmooth_sched::OnlineDroop;
+        use vsmooth_serve::{synthetic_jobs, Service, ServiceConfig};
+
+        let slice = (self.cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+        let mut cfg = ServiceConfig::new(self.chip(DecapConfig::proc100()));
+        cfg.slice_cycles = slice;
+        let service = Service::new(cfg)?;
+        let stream = synthetic_jobs(seed, jobs, slice);
+        service
+            .run_profiled(
+                &stream,
+                &OnlineDroop,
+                self.cfg.threads,
+                tracer,
+                vsmooth_profile::ProfileConfig::default(),
+            )
+            .map_err(VsmoothError::from)
+    }
 }
 
 /// Fig. 4 data: two analytic impedance profiles plus the empirical

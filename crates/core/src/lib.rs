@@ -16,6 +16,9 @@
 //!   phase-structured stall-event mixes.
 //! * [`chip`] — multi-core chip on a shared supply with per-cycle
 //!   voltage sensing and droop detection.
+//! * [`profile`] — droop root-cause attribution: triggered waveform
+//!   windows scored into per-workload noise profiles, with a
+//!   resonance-period estimate cross-checked against the analytic PDN.
 //! * [`resilience`] — the typical-case design performance model and the
 //!   881-run measurement campaign.
 //! * [`sched`] — the noise-aware thread scheduler: Droop / IPC /
@@ -51,6 +54,8 @@ pub mod report;
 pub use vsmooth_chip as chip;
 /// The power-delivery-network substrate.
 pub use vsmooth_pdn as pdn;
+/// Droop root-cause attribution over triggered waveform windows.
+pub use vsmooth_profile as profile;
 /// Typical-case design analysis and the measurement campaign.
 pub use vsmooth_resilience as resilience;
 /// The noise-aware thread scheduler.

@@ -79,6 +79,14 @@ impl ImpedanceProfile {
             .expect("impedance profile is never empty")
     }
 
+    /// The resonance period in core clock cycles at `clock_hz`:
+    /// `clock / f_peak`. This is the ringing period a scope capture of
+    /// a droop shows (and what an autocorrelation over triggered
+    /// windows estimates — see `vsmooth-profile`).
+    pub fn resonance_period_cycles(&self, clock_hz: f64) -> f64 {
+        clock_hz / self.peak().frequency_hz
+    }
+
     /// Impedance magnitude at the sampled frequency closest to `f` hertz.
     pub fn at(&self, f: f64) -> f64 {
         self.points
@@ -139,6 +147,18 @@ mod tests {
             p.impedance_ohms > 1e-3 && p.impedance_ohms < 2e-2,
             "peak |Z| = {:.3e} ohms",
             p.impedance_ohms
+        );
+    }
+
+    #[test]
+    fn resonance_period_is_a_handful_of_cycles() {
+        // At the paper's 1.86 GHz clock, a 100–200 MHz resonance rings
+        // with a period around 9–19 cycles.
+        let prof = profile(DecapConfig::proc100());
+        let period = prof.resonance_period_cycles(1.86e9);
+        assert!(
+            (7.0..24.0).contains(&period),
+            "resonance period {period:.1} cycles"
         );
     }
 

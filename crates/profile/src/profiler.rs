@@ -1,0 +1,334 @@
+//! Window aggregation: per-workload noise profiles and the resonance
+//! estimate.
+
+use crate::attribution::{attribute, event_index, DroopAttribution, N_EVENTS};
+use crate::report::{ProfileReport, WorkloadProfile};
+use crate::ProfileConfig;
+use std::collections::BTreeMap;
+use vsmooth_chip::DroopWindow;
+use vsmooth_uarch::PerfCounters;
+
+/// Aggregated attribution for one workload (or phase) label.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NoiseProfile {
+    /// Droops (captured windows) recorded under this label.
+    pub droops: u64,
+    /// Windows whose tail was cut short by a flush.
+    pub truncated_windows: u64,
+    /// Sum of window depths, percent below nominal (mean = sum/droops).
+    pub depth_sum_pct: f64,
+    /// Deepest captured droop, percent below nominal.
+    pub max_depth_pct: f64,
+    /// Accumulated responsibility share per event kind (indexed like
+    /// [`StallEvent::ALL`](vsmooth_uarch::StallEvent::ALL)); each droop
+    /// contributes at most 1 in total.
+    pub event_shares: [f64; N_EVENTS],
+    /// Accumulated share not carried by any lead-in event.
+    pub unattributed: f64,
+    /// Droops whose dominant cause is each event kind.
+    pub dominant_droops: [u64; N_EVENTS],
+    /// Droops with an event-free lead-in.
+    pub unattributed_droops: u64,
+    /// Events × droop-depth share matrix: `share_matrix[e][bin]`
+    /// accumulates event `e`'s shares of droops whose depth fell in
+    /// bin `bin` (bin width/count come from [`ProfileConfig`]).
+    pub share_matrix: Vec<Vec<f64>>,
+    /// Raw stall-event occurrences inside the windows, per kind —
+    /// comparable against `counters` by construction.
+    pub window_events: [u64; N_EVENTS],
+    /// Windowed counter deltas merged over every captured window and
+    /// core. Its per-event counts equal `window_events`.
+    pub counters: PerfCounters,
+}
+
+impl NoiseProfile {
+    fn new(cfg: &ProfileConfig) -> Self {
+        Self {
+            share_matrix: vec![vec![0.0; cfg.depth_bins]; N_EVENTS],
+            ..Self::default()
+        }
+    }
+
+    /// Mean captured droop depth, percent below nominal.
+    pub fn mean_depth_pct(&self) -> f64 {
+        if self.droops == 0 {
+            0.0
+        } else {
+            self.depth_sum_pct / self.droops as f64
+        }
+    }
+}
+
+/// Accumulates [`DroopWindow`]s into per-label [`NoiseProfile`]s plus
+/// a pooled autocorrelation for the resonance-period estimate.
+///
+/// Feed windows in a deterministic order (the serve and campaign
+/// layers do this coordinator-side) and the resulting
+/// [`ProfileReport`] — including its JSON rendering — is byte-stable.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    cfg: ProfileConfig,
+    margin_pct: f64,
+    profiles: BTreeMap<String, NoiseProfile>,
+    total_droops: u64,
+    total_windows: u64,
+    truncated_windows: u64,
+    /// Pooled autocorrelation numerators over the differenced
+    /// post-trigger ringing, per lag.
+    acf: Vec<f64>,
+    /// Sample-pair counts per lag.
+    acf_counts: Vec<u64>,
+}
+
+impl Profiler {
+    /// A profiler for droops captured at `margin_pct`.
+    pub fn new(margin_pct: f64, cfg: ProfileConfig) -> Self {
+        let lags = cfg.max_lag.max(4) + 1;
+        Self {
+            cfg,
+            margin_pct,
+            profiles: BTreeMap::new(),
+            total_droops: 0,
+            total_windows: 0,
+            truncated_windows: 0,
+            acf: vec![0.0; lags],
+            acf_counts: vec![0; lags],
+        }
+    }
+
+    /// The capture margin this profiler scores against.
+    pub fn margin_pct(&self) -> f64 {
+        self.margin_pct
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &ProfileConfig {
+        &self.cfg
+    }
+
+    /// Windows recorded so far.
+    pub fn total_windows(&self) -> u64 {
+        self.total_windows
+    }
+
+    /// Scores `window` and folds it into the profile for `label`,
+    /// returning the per-droop attribution (so callers can emit trace
+    /// spans or per-job annotations without re-scoring).
+    pub fn record(&mut self, label: &str, window: &DroopWindow) -> DroopAttribution {
+        let att = attribute(window, self.cfg.decay_tau_cycles);
+        let profile = self
+            .profiles
+            .entry(label.to_string())
+            .or_insert_with(|| NoiseProfile::new(&self.cfg));
+        profile.droops += 1;
+        if window.truncated {
+            profile.truncated_windows += 1;
+            self.truncated_windows += 1;
+        }
+        profile.depth_sum_pct += window.depth_pct;
+        profile.max_depth_pct = profile.max_depth_pct.max(window.depth_pct);
+        let bin = (((window.depth_pct - self.margin_pct) / self.cfg.depth_bin_pct).max(0.0)
+            as usize)
+            .min(self.cfg.depth_bins - 1);
+        for (e, &share) in att.shares.iter().enumerate() {
+            profile.event_shares[e] += share;
+            profile.share_matrix[e][bin] += share;
+        }
+        profile.unattributed += att.unattributed;
+        match att.dominant {
+            Some(e) => profile.dominant_droops[event_index(e)] += 1,
+            None => profile.unattributed_droops += 1,
+        }
+        for ev in &window.events {
+            profile.window_events[event_index(ev.event)] += 1;
+        }
+        for delta in &window.counter_deltas {
+            profile.counters.merge(delta);
+        }
+        self.total_droops += 1;
+        self.total_windows += 1;
+        self.accumulate_acf(window);
+        att
+    }
+
+    /// Folds the window's post-trigger ringing into the pooled
+    /// autocorrelation. The first difference of the waveform is used so
+    /// the exponential recovery baseline (and any slow regulator trend)
+    /// drops out, leaving the resonance oscillation.
+    fn accumulate_acf(&mut self, window: &DroopWindow) {
+        let start = (window.trigger_cycle - window.start_cycle) as usize;
+        let post = &window.voltage_dev_pct[start..];
+        if post.len() < 8 {
+            return;
+        }
+        let mut d: Vec<f64> = post.windows(2).map(|p| p[1] - p[0]).collect();
+        let mean = d.iter().sum::<f64>() / d.len() as f64;
+        for x in &mut d {
+            *x -= mean;
+        }
+        let max_lag = self.cfg.max_lag.min(d.len().saturating_sub(1));
+        for (lag, (acf, count)) in self
+            .acf
+            .iter_mut()
+            .zip(&mut self.acf_counts)
+            .enumerate()
+            .take(max_lag + 1)
+        {
+            let _ = lag;
+            *acf += d.iter().zip(&d[lag..]).map(|(a, b)| a * b).sum::<f64>();
+            *count += (d.len() - lag) as u64;
+        }
+    }
+
+    /// The dominant ringing period, in cycles, estimated as the first
+    /// local maximum (lag ≥ 2, positive correlation) of the pooled
+    /// autocorrelation, refined by parabolic interpolation. `None`
+    /// until enough windows show a periodicity.
+    pub fn estimated_resonance_period_cycles(&self) -> Option<f64> {
+        let r: Vec<f64> = self
+            .acf
+            .iter()
+            .zip(&self.acf_counts)
+            .map(|(&a, &n)| if n == 0 { 0.0 } else { a / n as f64 })
+            .collect();
+        let r0 = r[0];
+        if r0 <= 0.0 || r0.is_nan() {
+            return None;
+        }
+        for lag in 2..r.len() - 1 {
+            if r[lag] > r[lag - 1] && r[lag] >= r[lag + 1] && r[lag] > 0.0 {
+                let denom = r[lag - 1] - 2.0 * r[lag] + r[lag + 1];
+                let delta = if denom < 0.0 {
+                    (0.5 * (r[lag - 1] - r[lag + 1]) / denom).clamp(-0.5, 0.5)
+                } else {
+                    0.0
+                };
+                return Some(lag as f64 + delta);
+            }
+        }
+        None
+    }
+
+    /// Snapshots everything into a serializable [`ProfileReport`].
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            margin_pct: self.margin_pct,
+            decay_tau_cycles: self.cfg.decay_tau_cycles,
+            depth_bin_pct: self.cfg.depth_bin_pct,
+            depth_bins: self.cfg.depth_bins,
+            total_droops: self.total_droops,
+            total_windows: self.total_windows,
+            truncated_windows: self.truncated_windows,
+            resonance_period_cycles: self.estimated_resonance_period_cycles(),
+            workloads: self
+                .profiles
+                .iter()
+                .map(|(label, profile)| WorkloadProfile {
+                    label: label.clone(),
+                    profile: profile.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmooth_chip::{run_workload_profiled, ChipConfig, Fidelity};
+    use vsmooth_pdn::{DecapConfig, ImpedanceProfile, LadderConfig};
+    use vsmooth_uarch::StallEvent;
+    use vsmooth_workload::by_name;
+
+    fn sphinx_windows() -> (u64, Vec<DroopWindow>) {
+        let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+        let sphinx = by_name("482.sphinx3").unwrap();
+        let (stats, _, windows) = run_workload_profiled(
+            &cfg,
+            &sphinx,
+            Fidelity::Custom(4_000),
+            2.5,
+            ProfileConfig::default().window,
+        )
+        .unwrap();
+        (stats.emergencies(2.5), windows)
+    }
+
+    #[test]
+    fn profile_totals_are_consistent_with_windows() {
+        let (emergencies, windows) = sphinx_windows();
+        assert!(!windows.is_empty(), "sphinx3 should droop past 2.5%");
+        let mut profiler = Profiler::new(2.5, ProfileConfig::default());
+        for w in &windows {
+            profiler.record("482.sphinx3", w);
+        }
+        let report = profiler.report();
+        assert_eq!(report.total_droops, emergencies);
+        assert_eq!(report.total_windows, windows.len() as u64);
+        let profile = &report.workloads[0].profile;
+        assert_eq!(profile.droops, windows.len() as u64);
+        // Attribution is consistent with aggregates: every per-event
+        // window count matches the merged counter deltas, and every
+        // droop hands out exactly one unit of responsibility.
+        for e in StallEvent::ALL {
+            assert_eq!(
+                profile.window_events[event_index(e)],
+                profile.counters.event_count(e),
+                "{} events vs counter delta",
+                e.label()
+            );
+        }
+        let total_share: f64 = profile.event_shares.iter().sum::<f64>() + profile.unattributed;
+        assert!((total_share - profile.droops as f64).abs() < 1e-9);
+        let dominants: u64 =
+            profile.dominant_droops.iter().sum::<u64>() + profile.unattributed_droops;
+        assert_eq!(dominants, profile.droops);
+        // The depth matrix redistributes the same mass as the shares.
+        for e in 0..N_EVENTS {
+            let row: f64 = profile.share_matrix[e].iter().sum();
+            assert!((row - profile.event_shares[e]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimated_resonance_matches_analytic_ladder() {
+        // Acceptance criterion: the autocorrelation estimate over
+        // captured windows is within 10% of the analytic RLC resonance.
+        let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+        let analytic = ImpedanceProfile::compute(
+            &LadderConfig::core2_duo(DecapConfig::proc100()),
+            1e5,
+            1e9,
+            960,
+        )
+        .unwrap()
+        .resonance_period_cycles(chip.clock_hz);
+        let (_, windows) = sphinx_windows();
+        let mut profiler = Profiler::new(2.5, ProfileConfig::default());
+        for w in &windows {
+            profiler.record("482.sphinx3", w);
+        }
+        let estimated = profiler
+            .estimated_resonance_period_cycles()
+            .expect("ringing visible in captured windows");
+        let rel = (estimated - analytic).abs() / analytic;
+        assert!(
+            rel < 0.10,
+            "estimated {estimated:.2} vs analytic {analytic:.2} cycles ({:.1}% off)",
+            100.0 * rel
+        );
+    }
+
+    #[test]
+    fn labels_aggregate_independently_and_sorted() {
+        let (_, windows) = sphinx_windows();
+        assert!(windows.len() >= 2);
+        let mut profiler = Profiler::new(2.5, ProfileConfig::default());
+        profiler.record("zeta", &windows[0]);
+        profiler.record("alpha", &windows[1]);
+        let report = profiler.report();
+        let labels: Vec<&str> = report.workloads.iter().map(|w| w.label.as_str()).collect();
+        assert_eq!(labels, ["alpha", "zeta"]);
+        assert_eq!(report.total_droops, 2);
+    }
+}

@@ -15,9 +15,11 @@ use std::fmt;
 use std::sync::Mutex;
 use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
-    run_pair, run_pair_logged, run_workload, run_workload_logged, ChipConfig, DroopCrossing,
-    Fidelity, RunStats, PHASE_MARGIN_PCT,
+    run_pair, run_pair_logged, run_pair_profiled, run_workload, run_workload_logged,
+    run_workload_profiled, ChipConfig, DroopCrossing, DroopWindow, Fidelity, RunStats,
+    WindowConfig, PHASE_MARGIN_PCT,
 };
+use vsmooth_profile::{emit_window_span, ProfileConfig, ProfileReport, Profiler};
 use vsmooth_stats::MetricsRegistry;
 use vsmooth_trace::{ArgValue, DroopEvent, Tracer, PID_CAMPAIGN};
 use vsmooth_workload::{parsec, spec2006, Workload};
@@ -147,7 +149,7 @@ impl CampaignSpec {
     ///
     /// Returns the first simulation error encountered.
     pub fn run(self, threads: usize) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, None, &Tracer::disabled())
+        self.run_instrumented(threads, None, &Tracer::disabled(), None)
     }
 
     /// Like [`CampaignSpec::run`], but records operational telemetry
@@ -164,7 +166,7 @@ impl CampaignSpec {
         threads: usize,
         metrics: &MetricsRegistry,
     ) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, Some(metrics), &Tracer::disabled())
+        self.run_instrumented(threads, Some(metrics), &Tracer::disabled(), None)
     }
 
     /// Like [`CampaignSpec::run_with_metrics`], but additionally
@@ -186,7 +188,37 @@ impl CampaignSpec {
         metrics: Option<&MetricsRegistry>,
         tracer: &Tracer,
     ) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, metrics, tracer)
+        self.run_instrumented(threads, metrics, tracer, None)
+    }
+
+    /// Like [`CampaignSpec::run_traced`], but additionally profiles
+    /// every droop of every run: margin crossings freeze triggered
+    /// waveform windows ([`DroopWindow`]) that workers attach to their
+    /// run's result slot; the coordinator scores them in specification
+    /// order into a per-run [`ProfileReport`] (labels are the
+    /// [`RunId`] display strings), emits each window as a
+    /// `droop_window` span on the campaign timeline, and — when
+    /// `metrics` is given — exports the attribution counters into it.
+    /// The profile artifact is byte-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error encountered.
+    pub fn run_profiled(
+        self,
+        threads: usize,
+        metrics: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+        cfg: ProfileConfig,
+    ) -> Result<(CampaignResult, ProfileReport), CampaignError> {
+        let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
+        let mut profiler = Profiler::new(margin, cfg);
+        let result = self.run_instrumented(threads, metrics, tracer, Some(&mut profiler))?;
+        let report = profiler.report();
+        if let Some(m) = metrics {
+            report.export_metrics(m);
+        }
+        Ok((result, report))
     }
 
     fn run_instrumented(
@@ -194,19 +226,24 @@ impl CampaignSpec {
         threads: usize,
         metrics: Option<&MetricsRegistry>,
         tracer: &Tracer,
+        profiler: Option<&mut Profiler>,
     ) -> Result<CampaignResult, CampaignError> {
         let threads = threads.max(1);
         let n = self.specs.len();
         let queue: Mutex<VecDeque<(usize, RunSpec)>> =
             Mutex::new(self.specs.into_iter().enumerate().collect());
-        type Slot = Option<Result<(CampaignRun, Vec<DroopCrossing>), CampaignError>>;
+        type Slot =
+            Option<Result<(CampaignRun, Vec<DroopCrossing>, Vec<DroopWindow>), CampaignError>>;
         let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
         let chip = &self.chip;
         let fidelity = self.fidelity;
+        // Profiling workers capture triggered windows alongside the
+        // crossing log (the `WindowConfig` is `Copy`, so it crosses
+        // into the worker closures without touching the profiler).
+        let wcfg: Option<WindowConfig> = profiler.as_ref().map(|p| p.config().window);
         // Capture at the grid-quantized margin so per-event logs agree
         // exactly with `RunStats::emergencies(PHASE_MARGIN_PCT)`.
-        let margin = tracer
-            .wants_droop_events()
+        let margin = (tracer.wants_droop_events() || wcfg.is_some())
             .then(|| CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT));
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -214,33 +251,42 @@ impl CampaignSpec {
                     let item = queue.lock().expect("queue lock").pop_front();
                     let Some((idx, spec)) = item else { break };
                     let id = spec.id();
-                    let stats = match (&spec, margin) {
-                        (RunSpec::Single(w) | RunSpec::Multi(w), None) => {
-                            run_workload(chip, w, fidelity).map(|s| (s, Vec::new()))
+                    let stats = match (&spec, margin, wcfg) {
+                        (RunSpec::Single(w) | RunSpec::Multi(w), None, _) => {
+                            run_workload(chip, w, fidelity).map(|s| (s, Vec::new(), Vec::new()))
                         }
-                        (RunSpec::Single(w) | RunSpec::Multi(w), Some(margin)) => {
+                        (RunSpec::Single(w) | RunSpec::Multi(w), Some(margin), None) => {
                             run_workload_logged(chip, w, fidelity, margin)
+                                .map(|(s, c)| (s, c, Vec::new()))
                         }
-                        (RunSpec::Pair(a, b), None) => {
-                            run_pair(chip, a, b, fidelity).map(|s| (s, Vec::new()))
+                        (RunSpec::Single(w) | RunSpec::Multi(w), Some(margin), Some(wc)) => {
+                            run_workload_profiled(chip, w, fidelity, margin, wc)
                         }
-                        (RunSpec::Pair(a, b), Some(margin)) => {
+                        (RunSpec::Pair(a, b), None, _) => {
+                            run_pair(chip, a, b, fidelity).map(|s| (s, Vec::new(), Vec::new()))
+                        }
+                        (RunSpec::Pair(a, b), Some(margin), None) => {
                             run_pair_logged(chip, a, b, fidelity, margin)
+                                .map(|(s, c)| (s, c, Vec::new()))
+                        }
+                        (RunSpec::Pair(a, b), Some(margin), Some(wc)) => {
+                            run_pair_profiled(chip, a, b, fidelity, margin, wc)
                         }
                     };
-                    if let (Some(m), Ok((stats, _))) = (metrics, &stats) {
+                    if let (Some(m), Ok((stats, _, _))) = (metrics, &stats) {
                         m.counter_add("campaign_runs_total", 1);
                         m.counter_add("campaign_cycles_total", stats.cycles);
                         m.counter_add("campaign_droops_total", stats.emergencies(PHASE_MARGIN_PCT));
                     }
                     let outcome = stats
-                        .map(|(stats, crossings)| {
+                        .map(|(stats, crossings, windows)| {
                             (
                                 CampaignRun {
                                     id: id.clone(),
                                     stats,
                                 },
                                 crossings,
+                                windows,
                             )
                         })
                         .map_err(|e| CampaignError::Run {
@@ -254,10 +300,12 @@ impl CampaignSpec {
         let collected = results.into_inner().expect("results lock");
         let mut runs = Vec::with_capacity(n);
         let mut crossings_by_run = Vec::with_capacity(n);
+        let mut windows_by_run = Vec::with_capacity(n);
         for slot in collected {
-            let (run, crossings) = slot.expect("every queued run completes")?;
+            let (run, crossings, windows) = slot.expect("every queued run completes")?;
             runs.push(run);
             crossings_by_run.push(crossings);
+            windows_by_run.push(windows);
         }
         if let Some(m) = metrics {
             // Histogram observations happen here, after the merge, so
@@ -300,6 +348,27 @@ impl CampaignSpec {
                         workloads: workloads.clone(),
                         phase: "campaign".to_string(),
                     });
+                }
+            }
+        }
+        if let Some(p) = profiler {
+            // Score windows strictly in specification order: the
+            // profiler's internal float accumulation — and therefore
+            // the JSON artifact — is thread-count-independent.
+            for (idx, (run, windows)) in runs.iter().zip(&windows_by_run).enumerate() {
+                let label = run.id.to_string();
+                for window in windows {
+                    let att = p.record(&label, window);
+                    if tracer.is_enabled() {
+                        emit_window_span(
+                            tracer,
+                            PID_CAMPAIGN,
+                            idx as u64,
+                            window.start_cycle,
+                            window,
+                            &att,
+                        );
+                    }
                 }
             }
         }
@@ -452,6 +521,53 @@ mod tests {
             tracer.to_chrome_json()
         };
         assert_eq!(trace_at(1), trace_at(4));
+    }
+
+    #[test]
+    fn profiled_campaign_attributes_every_droop() {
+        let tracer = Tracer::enabled();
+        let metrics = MetricsRegistry::new();
+        let spec = CampaignSpec::reduced(chip(), Fidelity::Custom(4_000), 2);
+        let (result, profile) = spec
+            .run_profiled(2, Some(&metrics), &tracer, ProfileConfig::default())
+            .unwrap();
+        // Acceptance: profile droop counts equal the RunStats emergency
+        // counts, per run and in total.
+        let total: u64 = result
+            .runs()
+            .iter()
+            .map(|r| r.stats.emergencies(PHASE_MARGIN_PCT))
+            .sum();
+        assert!(total > 0, "reduced campaign should droop");
+        assert_eq!(profile.total_droops, total);
+        for run in result.runs() {
+            let expected = run.stats.emergencies(PHASE_MARGIN_PCT);
+            let label = run.id.to_string();
+            let droops = profile
+                .workloads
+                .iter()
+                .find(|w| w.label == label)
+                .map_or(0, |w| w.profile.droops);
+            assert_eq!(droops, expected, "droops for {label}");
+        }
+        // Exported counters land in the registry, and window spans on
+        // the campaign timeline.
+        assert_eq!(metrics.snapshot().counter("profile_droops_total"), total);
+        assert!(tracer.to_chrome_json().contains("droop_window"));
+    }
+
+    #[test]
+    fn profiled_campaign_json_is_thread_count_independent() {
+        let profile_at = |threads: usize| {
+            CampaignSpec::reduced(chip(), Fidelity::Custom(3_000), 2)
+                .run_profiled(threads, None, &Tracer::disabled(), ProfileConfig::default())
+                .unwrap()
+                .1
+                .to_json()
+        };
+        let one = profile_at(1);
+        assert_eq!(one, profile_at(4));
+        assert!(one.contains("vsmooth-profile-v1"));
     }
 
     #[test]

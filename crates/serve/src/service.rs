@@ -24,7 +24,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use vsmooth_chip::sense::CrossingGrid;
-use vsmooth_chip::{Chip, ChipConfig, ChipError, ChipSession, SliceStats, PHASE_MARGIN_PCT};
+use vsmooth_chip::{
+    Chip, ChipConfig, ChipError, ChipSession, DroopWindow, SliceStats, PHASE_MARGIN_PCT,
+};
+use vsmooth_profile::{emit_window_span, ProfileConfig, ProfileReport, Profiler};
 use vsmooth_sched::PairPolicy;
 use vsmooth_stats::{MetricsRegistry, MetricsSnapshot};
 use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS};
@@ -67,6 +70,20 @@ struct RunningJob {
     executed_cycles: u64,
     instructions: f64,
     attributed_droops: u64,
+}
+
+/// One executed slice of one chip, remembered so droop windows that
+/// seal later (their tail crosses a slice boundary, or the run ends)
+/// can still be labeled with the jobs that were resident at the
+/// trigger and mapped back onto the virtual clock.
+#[derive(Debug)]
+struct SliceSeg {
+    /// Session clock at the start of the slice.
+    session_start: u64,
+    /// Virtual clock at the start of the slice.
+    virtual_start: u64,
+    /// Workloads resident during the slice, joined with `+`.
+    label: String,
 }
 
 /// One pool member: a warmed-up measurement session plus whatever is
@@ -255,6 +272,45 @@ impl Service {
         workers: usize,
         tracer: &Tracer,
     ) -> Result<ServiceReport, ServeError> {
+        self.run_inner(jobs, policy, workers, tracer, None)
+    }
+
+    /// Like [`Service::run_traced`], but additionally profiles every
+    /// droop: each margin crossing freezes a triggered waveform window
+    /// ([`DroopWindow`]) that is scored into a per-co-schedule
+    /// [`ProfileReport`] (labels are the resident workloads joined with
+    /// `+`). Capture windows also appear as `droop_window` spans on a
+    /// dedicated `profile` thread of each chip's trace timeline.
+    ///
+    /// Windows are drained and scored coordinator-side in chip-index
+    /// order, so the profile artifact — like the report and the trace —
+    /// is byte-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Service::run`].
+    pub fn run_profiled(
+        &self,
+        jobs: &[JobSpec],
+        policy: &dyn PairPolicy,
+        workers: usize,
+        tracer: &Tracer,
+        cfg: ProfileConfig,
+    ) -> Result<(ServiceReport, ProfileReport), ServeError> {
+        let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
+        let mut profiler = Profiler::new(margin, cfg);
+        let report = self.run_inner(jobs, policy, workers, tracer, Some(&mut profiler))?;
+        Ok((report, profiler.report()))
+    }
+
+    fn run_inner(
+        &self,
+        jobs: &[JobSpec],
+        policy: &dyn PairPolicy,
+        workers: usize,
+        tracer: &Tracer,
+        mut profiler: Option<&mut Profiler>,
+    ) -> Result<ServiceReport, ServeError> {
         for job in jobs {
             if by_name(&job.workload).is_none() {
                 return Err(ServeError::UnknownWorkload(job.workload.clone()));
@@ -268,17 +324,31 @@ impl Service {
                 tracer.process_name(chip_pid(c), format!("chip{c}"));
                 tracer.thread_name(chip_pid(c), 0, "core0");
                 tracer.thread_name(chip_pid(c), 1, "core1");
+                if profiler.is_some() {
+                    tracer.thread_name(chip_pid(c), PROFILE_TID, "profile");
+                }
             }
         }
-        if tracer.wants_droop_events() {
-            // Capture at the grid-quantized margin so per-event logs
-            // agree exactly with the aggregate droop counts in
-            // `SliceStats` (which come from the crossing grid).
-            let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
+        // Capture at the grid-quantized margin so per-event logs agree
+        // exactly with the aggregate droop counts in `SliceStats`
+        // (which come from the crossing grid).
+        let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
+        if let Some(p) = profiler.as_deref_mut() {
+            // Profiling arms crossing *and* window capture; the
+            // profiler's own margin must match what the sessions
+            // trigger at.
+            debug_assert_eq!(p.margin_pct(), margin);
+            let window = p.config().window;
+            for slot in &mut slots {
+                slot.session.enable_profiling(margin, window);
+            }
+        } else if tracer.wants_droop_events() {
             for slot in &mut slots {
                 slot.session.capture_droops(margin);
             }
         }
+        // Per-chip slice history for late-sealing window labels.
+        let mut segs: Vec<Vec<SliceSeg>> = (0..self.cfg.chips).map(|_| Vec::new()).collect();
         let mut pending: VecDeque<JobSpec> = {
             let mut sorted = jobs.to_vec();
             sorted.sort_by_key(|j| (j.arrival_cycle, j.id));
@@ -352,7 +422,7 @@ impl Service {
                         );
                     }
                 }
-                if tracer.wants_droop_events() {
+                if tracer.wants_droop_events() || profiler.is_some() {
                     let workloads: Vec<String> = slot
                         .cores
                         .iter()
@@ -363,15 +433,27 @@ impl Service {
                     // so every captured crossing maps onto this slice's
                     // window of the virtual clock.
                     let slice_start = slot.session.measured_cycles() - slice.cycles;
-                    for crossing in slot.session.take_droop_crossings() {
-                        tracer.droop(DroopEvent {
-                            chip: chip_idx,
-                            core: 0,
-                            cycle: now + (crossing.cycle - slice_start),
-                            depth_pct: crossing.depth_pct,
-                            workloads: workloads.clone(),
-                            phase: format!("epoch{epochs}"),
+                    let crossings = slot.session.take_droop_crossings();
+                    if tracer.wants_droop_events() {
+                        for crossing in &crossings {
+                            tracer.droop(DroopEvent {
+                                chip: chip_idx,
+                                core: 0,
+                                cycle: now + (crossing.cycle - slice_start),
+                                depth_pct: crossing.depth_pct,
+                                workloads: workloads.clone(),
+                                phase: format!("epoch{epochs}"),
+                            });
+                        }
+                    }
+                    if let Some(p) = profiler.as_deref_mut() {
+                        segs[chip_idx].push(SliceSeg {
+                            session_start: slice_start,
+                            virtual_start: now,
+                            label: workloads.join("+"),
                         });
+                        let windows = slot.session.take_droop_windows();
+                        record_windows(p, tracer, chip_idx, &segs[chip_idx], &windows);
                     }
                 }
                 for core in 0..2 {
@@ -417,6 +499,14 @@ impl Service {
             epochs += 1;
         }
 
+        if let Some(p) = profiler.as_deref_mut() {
+            // Seal windows whose tail was still filling at the end of
+            // the run (their `truncated` flag records the early cut).
+            for (chip_idx, slot) in slots.iter_mut().enumerate() {
+                let windows = slot.session.flush_droop_windows();
+                record_windows(p, tracer, chip_idx, &segs[chip_idx], &windows);
+            }
+        }
         metrics.counter_add("serve_droops_total", droops);
         metrics.counter_with("droops_total", &[("policy", &policy.name())], droops);
         // Float observations only here, on the coordinator, in
@@ -442,6 +532,12 @@ impl Service {
         };
         metrics.gauge_set("serve_chip_utilization", utilization);
         metrics.gauge_set("serve_warmed_profiles", book.warmed() as f64);
+        if let Some(p) = profiler {
+            // Attribution series land in the same snapshot the report
+            // embeds, so `droop_attribution_total{event=...}` shows up
+            // in the rendered metrics and the Prometheus exposition.
+            p.report().export_metrics(&metrics);
+        }
 
         let snapshot = metrics.snapshot();
         let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
@@ -612,6 +708,36 @@ impl Service {
             attributed_droops: 0,
         });
         Ok(())
+    }
+}
+
+/// Virtual thread id hosting `droop_window` spans on a chip timeline
+/// (cores are threads 0 and 1).
+const PROFILE_TID: u64 = 2;
+
+/// Scores freshly sealed capture windows into the profiler and emits
+/// them as trace spans. Each window is labeled by the slice it
+/// triggered in (found in `segs`, which is ordered by session clock)
+/// and mapped onto the virtual clock through that slice's offset.
+fn record_windows(
+    profiler: &mut Profiler,
+    tracer: &Tracer,
+    chip_idx: usize,
+    segs: &[SliceSeg],
+    windows: &[DroopWindow],
+) {
+    for window in windows {
+        let seg = segs
+            .iter()
+            .rev()
+            .find(|s| s.session_start <= window.trigger_cycle)
+            .expect("windows only trigger inside recorded slices");
+        let att = profiler.record(&seg.label, window);
+        if tracer.is_enabled() {
+            let virtual_trigger = seg.virtual_start + (window.trigger_cycle - seg.session_start);
+            let ts = virtual_trigger.saturating_sub(window.trigger_cycle - window.start_cycle);
+            emit_window_span(tracer, chip_pid(chip_idx), PROFILE_TID, ts, window, &att);
+        }
     }
 }
 
@@ -807,6 +933,78 @@ mod tests {
         assert_eq!(one, run(2));
         assert_eq!(one, run(8));
         assert!(one.contains("traceEvents"));
+    }
+
+    #[test]
+    fn profiled_run_attributes_every_droop() {
+        let jobs = synthetic_jobs(17, 8, 1_200);
+        let service = Service::new(small_cfg()).unwrap();
+        let tracer = Tracer::enabled();
+        let (report, profile) = service
+            .run_profiled(&jobs, &OnlineDroop, 2, &tracer, ProfileConfig::default())
+            .unwrap();
+        // Acceptance: every droop the report counts got a captured,
+        // scored window — no more, no less.
+        assert_eq!(profile.total_droops, report.droops);
+        assert_eq!(profile.total_windows, report.droops);
+        let per_label: u64 = profile.workloads.iter().map(|w| w.profile.droops).sum();
+        assert_eq!(per_label, report.droops);
+        // The attribution series are in the report's own snapshot.
+        assert_eq!(
+            report.snapshot.counter("profile_droops_total"),
+            report.droops
+        );
+        // Window spans rode along on the chip timelines.
+        let spans = tracer.records().iter().filter(|r| r.is_span()).count();
+        assert!(spans > 0);
+        assert!(tracer.to_chrome_json().contains("droop_window"));
+    }
+
+    #[test]
+    fn profile_json_is_identical_across_worker_counts() {
+        let jobs = synthetic_jobs(29, 10, 1_000);
+        let run = |workers: usize| {
+            let service = Service::new(small_cfg()).unwrap();
+            let (report, profile) = service
+                .run_profiled(
+                    &jobs,
+                    &OnlineDroop,
+                    workers,
+                    &Tracer::disabled(),
+                    ProfileConfig::default(),
+                )
+                .unwrap();
+            (report, profile.to_json())
+        };
+        let (report_one, json_one) = run(1);
+        let (report_two, json_two) = run(2);
+        let (report_eight, json_eight) = run(8);
+        assert_eq!(json_one, json_two);
+        assert_eq!(json_one, json_eight);
+        assert_eq!(report_one, report_two);
+        assert_eq!(report_one, report_eight);
+        assert!(json_one.contains("vsmooth-profile-v1"));
+    }
+
+    #[test]
+    fn profiling_does_not_change_the_schedule() {
+        let jobs = synthetic_jobs(7, 8, 1_200);
+        let service = Service::new(small_cfg()).unwrap();
+        let plain = service.run(&jobs, &OnlineDroop, 2).unwrap();
+        let (profiled, _) = service
+            .run_profiled(
+                &jobs,
+                &OnlineDroop,
+                2,
+                &Tracer::disabled(),
+                ProfileConfig::default(),
+            )
+            .unwrap();
+        // Profiling is pure observation: same jobs, same clock, same
+        // droops (the report differs only in the extra metric series).
+        assert_eq!(plain.droops, profiled.droops);
+        assert_eq!(plain.virtual_cycles, profiled.virtual_cycles);
+        assert_eq!(plain.completed, profiled.completed);
     }
 
     #[test]

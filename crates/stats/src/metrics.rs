@@ -665,4 +665,30 @@ mod tests {
         let text = m.snapshot().render_prometheus();
         assert!(text.contains("c{k=\"a\\\"b\\\\c\"} 1"));
     }
+
+    #[test]
+    fn pathological_label_values_stay_on_one_exposition_line() {
+        // Backslash, quote and newline together — the three characters
+        // the Prometheus exposition format requires escaped. A raw
+        // newline would split the series across lines and corrupt the
+        // whole scrape.
+        let m = MetricsRegistry::new();
+        m.counter_with("c", &[("k", "line1\nline2\\end\"q\"")], 3);
+        m.gauge_with("g", &[("k", "a\nb")], 1.5);
+        m.observe_with("h", &[("k", "x\ny")], 2.0);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("c{k=\"line1\\nline2\\\\end\\\"q\\\"\"} 3"));
+        assert!(text.contains("g{k=\"a\\nb\"} 1.5"));
+        assert!(text.contains("h{k=\"x\\ny\",quantile=\"0.5\"} 2"));
+        // Every rendered line is a comment, a `name value`, or a
+        // `name{labels} value` — no line starts mid-label-value.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
+        // The plain text renderer uses the same SeriesId rendering.
+        assert!(m.snapshot().render().contains("c{k=\"line1\\nline2"));
+    }
 }

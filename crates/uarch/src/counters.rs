@@ -171,6 +171,48 @@ mod tests {
     }
 
     #[test]
+    fn delta_since_and_merge_round_trip() {
+        // Snapshot, accumulate, delta, then merge the delta back onto
+        // the snapshot: the reconstruction must equal the live counters
+        // in every field. This is the identity the profiler's windowed
+        // counter-delta bookkeeping relies on.
+        let mut live = PerfCounters::new();
+        for i in 0..50 {
+            live.on_cycle(i % 4 == 0, 1.5);
+        }
+        live.on_event(StallEvent::L2Miss);
+        let snapshot = live;
+        for i in 0..30 {
+            live.on_cycle(i % 2 == 0, 0.5);
+        }
+        live.on_event(StallEvent::L2Miss);
+        live.on_event(StallEvent::TlbMiss);
+
+        let delta = live.delta_since(&snapshot);
+        assert_eq!(delta.cycles(), 30);
+        assert_eq!(delta.stall_cycles(), 15);
+        assert_eq!(delta.instructions(), 15.0);
+        assert_eq!(delta.event_count(StallEvent::L2Miss), 1);
+        assert_eq!(delta.event_count(StallEvent::TlbMiss), 1);
+        assert_eq!(delta.event_count(StallEvent::L1Miss), 0);
+
+        let mut rebuilt = snapshot;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, live);
+    }
+
+    #[test]
+    fn delta_since_saturates_on_misordered_snapshots() {
+        let mut later = PerfCounters::new();
+        later.on_cycle(true, 2.0);
+        later.on_event(StallEvent::Exception);
+        // Asking for "the delta since a *later* snapshot" must clamp to
+        // zero everywhere instead of wrapping.
+        let d = PerfCounters::new().delta_since(&later);
+        assert_eq!(d, PerfCounters::new());
+    }
+
+    #[test]
     fn stall_ratio_in_unit_interval() {
         let mut c = PerfCounters::new();
         for i in 0..100 {
