@@ -15,6 +15,15 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== testkit gate (oracles, invariants, properties) =="
+# Differential oracles, the campaign-scale invariant sweep, and the
+# seeded metamorphic property suites. The workspace test step above
+# already runs these once; this step re-runs them with a pinned
+# proptest case count so the gate is identical run-to-run, and keeps
+# the tier-1 oracle-validation slice visible as its own line item.
+PROPTEST_CASES=64 cargo test -q -p vsmooth-testkit
+cargo test -q -p vsmooth-repro --test oracle_validation
+
 echo "== trace demo (artifact validation) =="
 # The demo itself asserts 1/2/8-worker byte-determinism and trace
 # shape; afterwards double-check the artifacts exist and are sane.

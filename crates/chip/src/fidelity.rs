@@ -34,6 +34,22 @@ impl Fidelity {
         }
     }
 
+    /// Validates the fidelity before a run: `Custom(0)` asks for
+    /// zero-cycle intervals, which would make every per-interval rate
+    /// a division by zero.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::InvalidConfig`] for `Custom(0)`.
+    pub fn validate(self) -> Result<(), crate::ChipError> {
+        match self {
+            Self::Custom(0) => Err(crate::ChipError::InvalidConfig(
+                "custom fidelity must be at least one cycle per interval",
+            )),
+            _ => Ok(()),
+        }
+    }
+
     /// Reads `VSMOOTH_FIDELITY` (`test` / `bench` / `full` / a number),
     /// defaulting to `default` when unset or unparsable.
     pub fn from_env(default: Fidelity) -> Fidelity {
@@ -59,7 +75,21 @@ mod tests {
 
     #[test]
     fn custom_is_clamped_to_one() {
+        // The accessor itself stays total (the clamp keeps direct
+        // callers safe); runs reject Custom(0) via validate() instead.
         assert_eq!(Fidelity::Custom(0).cycles_per_interval(), 1);
         assert_eq!(Fidelity::Custom(777).cycles_per_interval(), 777);
+    }
+
+    #[test]
+    fn zero_custom_fidelity_fails_validation() {
+        assert!(matches!(
+            Fidelity::Custom(0).validate(),
+            Err(crate::ChipError::InvalidConfig(_))
+        ));
+        assert!(Fidelity::Custom(1).validate().is_ok());
+        assert!(Fidelity::Test.validate().is_ok());
+        assert!(Fidelity::Bench.validate().is_ok());
+        assert!(Fidelity::Full.validate().is_ok());
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod chip;
 pub mod fidelity;
+pub mod invariant;
 pub mod probe;
 pub mod resilient;
 pub mod runner;
@@ -39,6 +40,7 @@ pub mod window;
 
 pub use crate::chip::{Chip, ChipConfig};
 pub use fidelity::Fidelity;
+pub use invariant::{InvariantConfig, InvariantKind, InvariantReport, InvariantViolation};
 pub use probe::{
     empirical_impedance, idle_swing_pct, interference_matrix, single_core_event_swings,
     tlb_overshoot_trace, EmpiricalImpedancePoint, EventSwing, InterferenceMatrix,

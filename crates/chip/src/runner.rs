@@ -82,6 +82,7 @@ fn run_workload_inner(
     fidelity: Fidelity,
     instrument: Instrument,
 ) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
+    fidelity.validate()?;
     let cpi = fidelity.cycles_per_interval();
     let total = u64::from(workload.total_intervals()) * cpi;
     let mut chip = Chip::new(cfg.clone())?;
@@ -198,6 +199,7 @@ fn run_pair_inner(
             "pair runs require a two-core chip",
         ));
     }
+    fidelity.validate()?;
     let cpi = fidelity.cycles_per_interval();
     let intervals = workload_pair_intervals(a, b);
     let total = u64::from(intervals) * cpi;
@@ -330,6 +332,19 @@ mod tests {
         for (win, crossing) in windows.iter().zip(&crossings) {
             assert_eq!(win.trigger_cycle, crossing.cycle);
         }
+    }
+
+    #[test]
+    fn zero_custom_fidelity_is_a_typed_error() {
+        let w = by_name("473.astar").unwrap();
+        assert!(matches!(
+            run_workload(&cfg(), &w, Fidelity::Custom(0)),
+            Err(ChipError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            run_pair(&cfg(), &w, &w, Fidelity::Custom(0)),
+            Err(ChipError::InvalidConfig(_))
+        ));
     }
 
     #[test]

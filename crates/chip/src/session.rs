@@ -13,6 +13,7 @@
 //! produces over the same cycles.
 
 use crate::chip::Chip;
+use crate::invariant::{InvariantConfig, InvariantReport, InvariantState, InvariantViolation};
 use crate::resilient::CycleControl;
 use crate::sense::{CrossingGrid, VoltageSensor};
 use crate::stats::{RunStats, PHASE_MARGIN_PCT};
@@ -58,6 +59,7 @@ pub(crate) struct MeasureState {
     last_sensed: f64,
     capture: Option<DroopCapture>,
     window: Option<WindowCapture>,
+    invariants: Option<InvariantState>,
 }
 
 impl MeasureState {
@@ -75,6 +77,28 @@ impl MeasureState {
             last_sensed: chip.last_sensed(),
             capture: None,
             window: None,
+            invariants: None,
+        }
+    }
+
+    /// Arms the invariant checker: every subsequent cycle and slice is
+    /// validated against the physics/bookkeeping invariants in
+    /// [`InvariantConfig`]. Re-arming resets the checker's baselines
+    /// and drops unread violations.
+    pub(crate) fn enable_invariants(&mut self, chip: &Chip, cfg: InvariantConfig) {
+        self.invariants = Some(InvariantState::new(chip, &self.droops, cfg));
+    }
+
+    /// Snapshot of the checker's findings (`None` when disarmed).
+    pub(crate) fn invariant_report(&self) -> Option<InvariantReport> {
+        self.invariants.as_ref().map(InvariantState::report)
+    }
+
+    /// Drains recorded violations (empty when disarmed or clean).
+    pub(crate) fn take_invariant_violations(&mut self) -> Vec<InvariantViolation> {
+        match self.invariants.as_mut() {
+            Some(inv) => inv.take_violations(),
+            None => Vec::new(),
         }
     }
 
@@ -178,6 +202,9 @@ impl MeasureState {
             if let Some(win) = self.window.as_mut() {
                 win.on_cycle(chip, self.measured_cycles, dev, crossing_started);
             }
+            if let Some(inv) = self.invariants.as_mut() {
+                inv.on_cycle(chip, self.measured_cycles, v, dev);
+            }
             if let Some((buf, limit)) = trace.as_mut() {
                 if c < *limit {
                     buf.push(v);
@@ -193,12 +220,15 @@ impl MeasureState {
                 self.interval_start_events = now;
             }
         }
-        let core_deltas = chip
+        let core_deltas: Vec<PerfCounters> = chip
             .core_counters()
             .iter()
             .zip(&counters_before)
             .map(|(now, then)| now.delta_since(then))
             .collect();
+        if let Some(inv) = self.invariants.as_mut() {
+            inv.on_slice(chip, cycles, &core_deltas, &self.droops);
+        }
         SliceStats {
             cycles,
             droops: self.droops.events_at(PHASE_MARGIN_PCT) - droops_before,
@@ -388,6 +418,28 @@ impl ChipSession {
         self.state.flush_droop_windows()
     }
 
+    /// Arms the physics/bookkeeping invariant checker (see the
+    /// [`invariant`](crate::invariant) module). Like droop capture and
+    /// profiling, the hook is an `Option` that stays `None` unless
+    /// armed — a disarmed session pays one untaken branch per cycle.
+    /// Calling again re-arms with fresh baselines and drops unread
+    /// violations.
+    pub fn enable_invariants(&mut self, cfg: InvariantConfig) {
+        self.state.enable_invariants(&self.chip, cfg);
+    }
+
+    /// Snapshot of invariant-checker coverage and findings, or `None`
+    /// if [`ChipSession::enable_invariants`] was never called.
+    pub fn invariant_report(&self) -> Option<InvariantReport> {
+        self.state.invariant_report()
+    }
+
+    /// Drains recorded invariant violations (empty when the checker is
+    /// disarmed or everything held).
+    pub fn take_invariant_violations(&mut self) -> Vec<InvariantViolation> {
+        self.state.take_invariant_violations()
+    }
+
     /// Measured cycles so far.
     pub fn measured_cycles(&self) -> u64 {
         self.state.measured_cycles
@@ -419,6 +471,7 @@ impl ChipSession {
 mod tests {
     use super::*;
     use crate::chip::ChipConfig;
+    use crate::invariant::InvariantKind;
     use vsmooth_pdn::DecapConfig;
     use vsmooth_uarch::{FixedIntensity, IdleLoop};
     use vsmooth_workload::by_name;
@@ -757,6 +810,97 @@ mod tests {
         assert_eq!(plain.sensor, logged.sensor);
         assert_eq!(plain.droops, logged.droops);
         assert_eq!(plain.core_counters, logged.core_counters);
+    }
+
+    #[test]
+    fn invariants_hold_on_a_clean_run() {
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        session.enable_invariants(InvariantConfig::default());
+        for _ in 0..4 {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, 5_000).unwrap();
+        }
+        let report = session.invariant_report().expect("armed");
+        assert_eq!(report.cycles_checked, 20_000);
+        assert_eq!(report.slices_checked, 4);
+        assert!(
+            report.is_clean(),
+            "violations on a healthy run: {:?}",
+            report.violations
+        );
+        assert!(session.take_invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn invariant_checking_does_not_perturb_measurement() {
+        let w = by_name("473.astar").unwrap();
+        let run = |checked: bool| {
+            let mut s = w.stream(0, 5_000);
+            s.set_looping(true);
+            let mut idle = IdleLoop::default();
+            let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+            if checked {
+                session.enable_invariants(InvariantConfig::default());
+            }
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, 15_000).unwrap();
+            session.finish()
+        };
+        let plain = run(false);
+        let checked = run(true);
+        assert_eq!(plain.sensor, checked.sensor);
+        assert_eq!(plain.droops, checked.droops);
+        assert_eq!(plain.core_counters, checked.core_counters);
+    }
+
+    #[test]
+    fn invariant_report_is_none_without_arming() {
+        let (mut a, mut b) = idle_pair();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        let mut session = ChipSession::begin(chip(), &mut warm, 2_000).unwrap();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut a, &mut b];
+        session.run_slice(&mut sources, 2_000).unwrap();
+        assert!(session.invariant_report().is_none());
+        assert!(session.take_invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn invariant_checker_flags_an_impossible_voltage_band() {
+        // Sanity that the checker actually fires: a 0% band makes every
+        // non-nominal cycle a violation, and the report caps recording
+        // while still counting the overflow.
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        session.enable_invariants(InvariantConfig {
+            voltage_band_pct: 0.0,
+            max_violations: 8,
+            ..InvariantConfig::default()
+        });
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        session.run_slice(&mut sources, 5_000).unwrap();
+        let report = session.invariant_report().expect("armed");
+        assert!(!report.is_clean());
+        assert_eq!(report.violations.len(), 8, "recording must cap");
+        assert!(report.dropped > 0, "overflow must still be counted");
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.kind == InvariantKind::VoltageOutOfBounds));
+        // Draining resets the log.
+        assert_eq!(session.take_invariant_violations().len(), 8);
+        let after = session.invariant_report().expect("armed");
+        assert!(after.violations.is_empty());
+        assert_eq!(after.dropped, 0);
     }
 
     #[test]

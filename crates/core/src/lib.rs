@@ -24,6 +24,9 @@
 //! * [`sched`] — the noise-aware thread scheduler: Droop / IPC /
 //!   IPC-over-Droopⁿ policies, batch scheduling, sliding windows,
 //!   pass-rate analysis, and a counter-driven online scheduler.
+//! * [`testkit`] — correctness tooling: differential oracles against
+//!   closed-form circuit solutions, a brute-force reference scheduler,
+//!   campaign-scale invariant sweeps, and a seeded scenario generator.
 //! * [`experiments`] — one runner per paper figure/table, and
 //!   [`report`] — plain-text rendering of each result.
 //!
@@ -64,6 +67,10 @@ pub use vsmooth_sched as sched;
 pub use vsmooth_serve as serve;
 /// Statistics helpers.
 pub use vsmooth_stats as stats;
+/// Correctness tooling: differential oracles against closed-form
+/// circuit solutions, a reference scheduler, campaign-scale invariant
+/// sweeps, and the seeded scenario generator (see `DESIGN.md` §10).
+pub use vsmooth_testkit as testkit;
 /// Structured tracing: droop events, spans, Chrome trace export.
 pub use vsmooth_trace as trace;
 /// The microarchitecture substrate.

@@ -228,6 +228,9 @@ impl CampaignSpec {
         tracer: &Tracer,
         profiler: Option<&mut Profiler>,
     ) -> Result<CampaignResult, CampaignError> {
+        if self.specs.is_empty() {
+            return Err(CampaignError::EmptySpec);
+        }
         let threads = threads.max(1);
         let n = self.specs.len();
         let queue: Mutex<VecDeque<(usize, RunSpec)>> =
@@ -449,6 +452,13 @@ mod tests {
     fn specrate_campaign_pairs_each_benchmark_with_itself() {
         let spec = CampaignSpec::specrate(chip(), Fidelity::Test);
         assert_eq!(spec.len(), 29);
+    }
+
+    #[test]
+    fn empty_campaign_is_a_typed_error() {
+        let spec = CampaignSpec::reduced(chip(), Fidelity::Custom(500), 0);
+        assert!(spec.is_empty());
+        assert!(matches!(spec.run(2), Err(CampaignError::EmptySpec)));
     }
 
     #[test]

@@ -52,6 +52,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CampaignError {
+    /// The campaign specification contains no runs.
+    EmptySpec,
     /// A run failed to simulate.
     Run {
         /// Which run failed.
@@ -64,6 +66,7 @@ pub enum CampaignError {
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Self::EmptySpec => write!(f, "campaign specification contains no runs"),
             Self::Run { id, source } => write!(f, "campaign run {id} failed: {source}"),
         }
     }
@@ -73,6 +76,7 @@ impl Error for CampaignError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Run { source, .. } => Some(source),
+            _ => None,
         }
     }
 }

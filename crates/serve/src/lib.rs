@@ -62,6 +62,14 @@ pub enum ServeError {
     InvalidConfig(&'static str),
     /// A job names a workload the catalog does not have.
     UnknownWorkload(String),
+    /// An arrival would push the admission queue past the configured
+    /// [`queue_capacity`](ServiceConfig::queue_capacity).
+    QueueOverflow {
+        /// The configured bound the queue hit.
+        capacity: usize,
+        /// The job whose admission overflowed.
+        job: u64,
+    },
     /// Chip simulation failed.
     Chip(vsmooth_chip::ChipError),
 }
@@ -71,6 +79,10 @@ impl fmt::Display for ServeError {
         match self {
             Self::InvalidConfig(msg) => write!(f, "invalid service configuration: {msg}"),
             Self::UnknownWorkload(name) => write!(f, "unknown workload: {name}"),
+            Self::QueueOverflow { capacity, job } => write!(
+                f,
+                "admission queue overflow: job {job} arrived with {capacity} jobs already waiting"
+            ),
             Self::Chip(e) => write!(f, "chip simulation failed: {e}"),
         }
     }

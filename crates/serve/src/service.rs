@@ -47,16 +47,23 @@ pub struct ServiceConfig {
     /// How many queued jobs the pairing search considers at once (the
     /// FIFO prefix of the ready queue).
     pub pairing_window: usize,
+    /// Admission-queue bound: a run fails with
+    /// [`ServeError::QueueOverflow`] when an arrival would push the
+    /// ready queue past this many waiting jobs. `None` (the default)
+    /// leaves the queue unbounded, preserving historical behavior.
+    pub queue_capacity: Option<usize>,
 }
 
 impl ServiceConfig {
-    /// A small default pool: 4 chips, 2 000-cycle quanta, window 16.
+    /// A small default pool: 4 chips, 2 000-cycle quanta, window 16,
+    /// unbounded admission queue.
     pub fn new(chip: ChipConfig) -> Self {
         Self {
             chip,
             chips: 4,
             slice_cycles: 2_000,
             pairing_window: 16,
+            queue_capacity: None,
         }
     }
 }
@@ -222,6 +229,11 @@ impl Service {
                 "pairing window must hold at least two jobs",
             ));
         }
+        if cfg.queue_capacity == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "queue capacity must admit at least one job (or None for unbounded)",
+            ));
+        }
         Ok(Self { cfg })
     }
 
@@ -365,6 +377,14 @@ impl Service {
         while completed.len() < jobs.len() {
             while pending.front().is_some_and(|j| j.arrival_cycle <= now) {
                 let job = pending.pop_front().expect("front checked");
+                if let Some(capacity) = self.cfg.queue_capacity {
+                    if ready.len() >= capacity {
+                        return Err(ServeError::QueueOverflow {
+                            capacity,
+                            job: job.id,
+                        });
+                    }
+                }
                 metrics.counter_add("serve_jobs_admitted_total", 1);
                 if tracer.is_enabled() {
                     tracer.instant(
@@ -810,6 +830,48 @@ mod tests {
         let mut c = small_cfg();
         c.pairing_window = 1;
         assert!(Service::new(c).is_err());
+        let mut c = small_cfg();
+        c.queue_capacity = Some(0);
+        assert!(matches!(Service::new(c), Err(ServeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_error() {
+        // 12 jobs all arriving at cycle 0 against a 2-chip pool: far
+        // more than 3 must wait, so a capacity of 3 overflows during
+        // the very first admission sweep.
+        let mut cfg = small_cfg();
+        cfg.queue_capacity = Some(3);
+        let service = Service::new(cfg).unwrap();
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|id| JobSpec {
+                id,
+                workload: "429.mcf".into(),
+                arrival_cycle: 0,
+            })
+            .collect();
+        match service.run(&jobs, &OnlineDroop, 1) {
+            Err(ServeError::QueueOverflow { capacity, .. }) => assert_eq!(capacity, 3),
+            other => panic!("expected QueueOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_queue_capacity_changes_nothing() {
+        // A bound the run never hits must leave the report identical to
+        // the unbounded default.
+        let jobs = synthetic_jobs(21, 8, 1_500);
+        let unbounded = Service::new(small_cfg())
+            .unwrap()
+            .run(&jobs, &OnlineDroop, 1)
+            .unwrap();
+        let mut cfg = small_cfg();
+        cfg.queue_capacity = Some(jobs.len());
+        let bounded = Service::new(cfg)
+            .unwrap()
+            .run(&jobs, &OnlineDroop, 1)
+            .unwrap();
+        assert_eq!(unbounded.render(), bounded.render());
     }
 
     #[test]

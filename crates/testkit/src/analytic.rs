@@ -1,0 +1,317 @@
+//! Closed-form differential oracles for the RLC-ladder PDN.
+//!
+//! `vsmooth-pdn` computes impedance profiles by solving the state-space
+//! system `C (jωI − A)⁻¹ B + D` and simulates transients through a
+//! bilinear discretization. Both paths go through the same `Mat`
+//! machinery, so a bug there would corrupt simulation and "validation"
+//! alike. The oracles here are derived independently, straight from the
+//! circuit:
+//!
+//! * [`impedance_magnitude`] — complex Thevenin reduction of the ladder
+//!   (no matrices, no linear solves): fold the stages from the VRM to
+//!   the die, taking the parallel combination of the accumulated series
+//!   path and each shunt branch.
+//! * [`resonance`] — peak search over the Thevenin impedance.
+//! * [`single_stage_step`] / [`single_stage_pulse`] — exact transient
+//!   response of a one-stage ladder via the closed-form 2×2 matrix
+//!   exponential (complex-pair, distinct-real and critically damped
+//!   branches).
+//! * [`simulate_step`] — the simulated counterpart the closed forms are
+//!   compared against in the oracle tests.
+
+use vsmooth_pdn::linalg::Cpx;
+use vsmooth_pdn::{LadderConfig, LadderStage, PdnError};
+
+/// Analytic impedance magnitude `|∂V_die/∂I_load|` of `cfg` at `f_hz`,
+/// by complex Thevenin reduction of the ladder.
+///
+/// Folding from the VRM (an ideal source, `Z = 0`): each stage adds its
+/// series `R + jωL` to the accumulated path, then parallels the result
+/// with its shunt branch `ESR + 1/(jωC)`. After the last stage this is
+/// the driving-point impedance at the die node, whose magnitude equals
+/// the state-space [`ImpedanceProfile`](vsmooth_pdn::ImpedanceProfile)
+/// at the same frequency.
+///
+/// # Panics
+///
+/// Panics unless `f_hz` is positive and finite.
+pub fn impedance_magnitude(cfg: &LadderConfig, f_hz: f64) -> f64 {
+    assert!(
+        f_hz.is_finite() && f_hz > 0.0,
+        "frequency must be positive and finite"
+    );
+    let omega = 2.0 * std::f64::consts::PI * f_hz;
+    let mut z = Cpx::ZERO;
+    for stage in cfg.stages() {
+        let series = z + Cpx::new(stage.series_r, omega * stage.series_l);
+        let shunt = Cpx::new(stage.shunt_esr, -1.0 / (omega * stage.shunt_c));
+        z = series * shunt / (series + shunt);
+    }
+    z.abs()
+}
+
+/// Resonance frequency and peak impedance of `cfg` over `[f_lo, f_hi]`
+/// hertz, found on the analytic Thevenin impedance: a dense logarithmic
+/// scan followed by golden-section refinement of the winning bracket.
+///
+/// Returns `(frequency_hz, impedance_ohms)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < f_lo < f_hi` and both are finite.
+pub fn resonance(cfg: &LadderConfig, f_lo: f64, f_hi: f64) -> (f64, f64) {
+    assert!(
+        f_lo.is_finite() && f_hi.is_finite() && f_lo > 0.0 && f_lo < f_hi,
+        "invalid frequency range"
+    );
+    const SCAN: usize = 600;
+    let (log_lo, log_hi) = (f_lo.ln(), f_hi.ln());
+    let at = |u: f64| impedance_magnitude(cfg, u.exp());
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for i in 0..SCAN {
+        let u = log_lo + (log_hi - log_lo) * i as f64 / (SCAN - 1) as f64;
+        let z = at(u);
+        if z > best.1 {
+            best = (i, z);
+        }
+    }
+    // Golden-section search on log-frequency within the neighbours of
+    // the scan winner (|Z| is unimodal inside one scan step).
+    let du = (log_hi - log_lo) / (SCAN - 1) as f64;
+    let mut a = log_lo + du * best.0.saturating_sub(1) as f64;
+    let mut b = (log_lo + du * (best.0 + 1) as f64).min(log_hi);
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut c, mut d) = (b - PHI * (b - a), a + PHI * (b - a));
+    let (mut zc, mut zd) = (at(c), at(d));
+    for _ in 0..80 {
+        if zc > zd {
+            b = d;
+            d = c;
+            zd = zc;
+            c = b - PHI * (b - a);
+            zc = at(c);
+        } else {
+            a = c;
+            c = d;
+            zc = zd;
+            d = a + PHI * (b - a);
+            zd = at(d);
+        }
+    }
+    let u = 0.5 * (a + b);
+    (u.exp(), at(u))
+}
+
+/// Exact `exp(A t)` for a 2×2 matrix, covering the complex-pair,
+/// distinct-real and critically damped eigenvalue cases.
+fn expm2(a: [[f64; 2]; 2], t: f64) -> [[f64; 2]; 2] {
+    let tr = a[0][0] + a[1][1];
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    let alpha = tr / 2.0;
+    let disc = alpha * alpha - det;
+    let ident = [[1.0, 0.0], [0.0, 1.0]];
+    // A − αI.
+    let dev = [[a[0][0] - alpha, a[0][1]], [a[1][0], a[1][1] - alpha]];
+    let scale = (alpha * alpha + det.abs()).max(1e-300);
+    let combine = |k_i: f64, k_dev: f64| {
+        let mut out = [[0.0; 2]; 2];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = k_i * ident[r][c] + k_dev * dev[r][c];
+            }
+        }
+        out
+    };
+    if disc < -1e-12 * scale {
+        // Complex pair α ± jβ: e^{αt}(cos βt · I + sin βt / β · (A − αI)).
+        let beta = (-disc).sqrt();
+        let e = (alpha * t).exp();
+        combine(e * (beta * t).cos(), e * (beta * t).sin() / beta)
+    } else if disc > 1e-12 * scale {
+        // Distinct real λ = α ± s, expressed on the same I/(A − αI)
+        // basis. Exponentiating each eigenvalue separately (rather than
+        // e^{αt}·cosh/sinh) keeps stiff stages finite: a fast mode may
+        // underflow to zero while e^{αt}·cosh(st) would be 0·∞.
+        let s = disc.sqrt();
+        let e1 = ((alpha + s) * t).exp();
+        let e2 = ((alpha - s) * t).exp();
+        combine((e1 + e2) / 2.0, (e1 - e2) / (2.0 * s))
+    } else {
+        // Critically damped: e^{αt}(I + t (A − αI)).
+        let e = (alpha * t).exp();
+        combine(e, e * t)
+    }
+}
+
+/// The state matrix of a one-stage ladder with states `[i, vC]`.
+fn single_stage_a(stage: &LadderStage) -> [[f64; 2]; 2] {
+    let (r, l, c, esr) = (
+        stage.series_r,
+        stage.series_l,
+        stage.shunt_c,
+        stage.shunt_esr,
+    );
+    [[-(r + esr) / l, -1.0 / l], [1.0 / c, 0.0]]
+}
+
+/// Exact die voltage of a one-stage ladder at time `t ≥ 0` after the
+/// load current steps from `i0` to `i1` at `t = 0`, starting from the
+/// DC steady state at `i0` with source voltage `vs`.
+///
+/// Derivation: with states `x = [i, vC]`, the homogeneous deviation
+/// from the new operating point obeys `x̃̇ = A x̃` with
+/// `x̃(0) = (i0 − i1)·[1, −R]`, and the output is
+/// `v(t) = (vs − R·i1) + [ESR, 1]·exp(A t)·x̃(0)`.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or the stage has non-positive elements.
+pub fn single_stage_step(stage: &LadderStage, vs: f64, i0: f64, i1: f64, t: f64) -> f64 {
+    stage.validate().expect("valid stage");
+    assert!(t >= 0.0, "time must be non-negative");
+    let r = stage.series_r;
+    let e = expm2(single_stage_a(stage), t);
+    let x0 = [i0 - i1, -r * (i0 - i1)];
+    let xt = [
+        e[0][0] * x0[0] + e[0][1] * x0[1],
+        e[1][0] * x0[0] + e[1][1] * x0[1],
+    ];
+    (vs - r * i1) + stage.shunt_esr * xt[0] + xt[1]
+}
+
+/// Exact die voltage of a one-stage ladder under a rectangular current
+/// pulse: the load sits at `i_base`, jumps by `i_pulse` at `t = 0` and
+/// drops back at `t = width_s`. Built from [`single_stage_step`] by
+/// superposition (the network is LTI).
+///
+/// # Panics
+///
+/// Panics if `t` is negative, `width_s` is non-positive, or the stage
+/// is invalid.
+pub fn single_stage_pulse(
+    stage: &LadderStage,
+    vs: f64,
+    i_base: f64,
+    i_pulse: f64,
+    width_s: f64,
+    t: f64,
+) -> f64 {
+    assert!(width_s > 0.0, "pulse width must be positive");
+    let baseline = vs - stage.series_r * i_base;
+    let delta = |tau: f64| {
+        if tau < 0.0 {
+            0.0
+        } else {
+            single_stage_step(stage, vs, i_base, i_base + i_pulse, tau) - baseline
+        }
+    };
+    baseline + delta(t) - delta(t - width_s)
+}
+
+/// Simulated counterpart of the closed forms: discretizes `cfg` at
+/// `dt`, initializes the DC steady state for load `i0`, then steps the
+/// load to `i1` and records the die voltage for `steps` cycles (sample
+/// `k` is the output at `t = (k + 1)·dt`).
+///
+/// # Errors
+///
+/// Propagates ladder validation errors; [`PdnError::Singular`] if the
+/// network has no DC operating point (impossible for a passive ladder).
+pub fn simulate_step(
+    cfg: &LadderConfig,
+    dt: f64,
+    i0: f64,
+    i1: f64,
+    steps: usize,
+) -> Result<Vec<f64>, PdnError> {
+    let sys = cfg.state_space()?;
+    let vs = cfg.nominal_voltage();
+    let (x0, _) = sys.steady_state(&[vs, i0]).ok_or(PdnError::Singular)?;
+    let mut d = sys.discretize(dt).ok_or(PdnError::Singular)?;
+    d.set_state(&x0);
+    let u = [vs, i1];
+    Ok((0..steps).map(|_| d.step_first(&u)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmooth_pdn::DecapConfig;
+
+    fn stage() -> LadderStage {
+        LadderStage {
+            series_r: 1.0e-3,
+            series_l: 50.0e-12,
+            shunt_c: 500.0e-9,
+            shunt_esr: 0.5e-3,
+        }
+    }
+
+    #[test]
+    fn thevenin_dc_limit_is_series_resistance() {
+        let cfg = LadderConfig::core2_duo(DecapConfig::proc100());
+        let z = impedance_magnitude(&cfg, 1e-2);
+        assert!(
+            (z - cfg.total_series_resistance()).abs() < 0.05e-3,
+            "z={z:.3e}"
+        );
+    }
+
+    #[test]
+    fn step_settles_to_dc_law() {
+        let s = stage();
+        let v = single_stage_step(&s, 1.0, 0.0, 20.0, 1e-3);
+        assert!((v - (1.0 - 20.0 * s.series_r)).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn step_at_time_zero_shows_the_esr_kick() {
+        // At t = 0⁺ the inductor current has not moved, so the whole
+        // load step flows out of the capacitor through its ESR.
+        let s = stage();
+        let v = single_stage_step(&s, 1.0, 0.0, 20.0, 0.0);
+        assert!((v - (1.0 - 20.0 * s.shunt_esr)).abs() < 1e-12, "v={v}");
+    }
+
+    #[test]
+    fn expm_at_zero_is_identity() {
+        let e = expm2(single_stage_a(&stage()), 0.0);
+        assert!((e[0][0] - 1.0).abs() < 1e-12 && (e[1][1] - 1.0).abs() < 1e-12);
+        assert!(e[0][1].abs() < 1e-12 && e[1][0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_handles_overdamped_stages() {
+        // Huge R makes the pair of eigenvalues real and distinct.
+        let s = LadderStage {
+            series_r: 1.0,
+            ..stage()
+        };
+        let v = single_stage_step(&s, 1.0, 0.0, 1.0, 1e-3);
+        assert!((v - (1.0 - s.series_r)).abs() < 1e-9, "v={v}");
+        let early = single_stage_step(&s, 1.0, 0.0, 1.0, 1e-9);
+        assert!(early.is_finite());
+    }
+
+    #[test]
+    fn pulse_superposition_recovers_baseline() {
+        let s = stage();
+        // Long after a short pulse, the die is back at the base DC law.
+        let v = single_stage_pulse(&s, 1.0, 5.0, 15.0, 50.0e-9, 1e-3);
+        assert!((v - (1.0 - 5.0 * s.series_r)).abs() < 1e-9, "v={v}");
+        // Before the pulse ends, it matches the plain step.
+        let during = single_stage_pulse(&s, 1.0, 5.0, 15.0, 50.0e-9, 10.0e-9);
+        let step = single_stage_step(&s, 1.0, 5.0, 20.0, 10.0e-9);
+        assert!((during - step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resonance_refinement_beats_the_scan() {
+        let cfg = LadderConfig::core2_duo(DecapConfig::proc100());
+        let (f, z) = resonance(&cfg, 1e5, 1e9);
+        // The refined point must not be worse than its own neighbours.
+        assert!(z >= impedance_magnitude(&cfg, f * 1.001) - 1e-15);
+        assert!(z >= impedance_magnitude(&cfg, f * 0.999) - 1e-15);
+        assert!((8e7..2.5e8).contains(&f), "peak at {f:.3e} Hz");
+    }
+}

@@ -1,0 +1,234 @@
+//! Campaign-shaped invariant sweeps.
+//!
+//! The per-session invariant checker (`vsmooth-chip`'s `invariant`
+//! module) validates physics and bookkeeping while *one* measurement
+//! runs. A single hand-picked run exercises only one corner of the
+//! stimulus space, though; the sweep here rebuilds the shape of a
+//! characterization campaign — every workload alone plus every ordered
+//! pair — and drives each run through an invariant-armed
+//! [`ChipSession`], slicing interval by interval the way the serving
+//! stack does. The result aggregates checker coverage and findings
+//! across the whole catalog subset.
+
+use vsmooth_chip::{
+    Chip, ChipConfig, ChipError, ChipSession, Fidelity, InvariantConfig, InvariantViolation,
+};
+use vsmooth_uarch::{IdleLoop, StimulusSource};
+use vsmooth_workload::{Threading, Workload};
+
+/// Aggregated outcome of a [`campaign_invariant_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Number of invariant-armed runs performed (singles plus ordered
+    /// pairs).
+    pub runs: usize,
+    /// Total measured cycles validated by the checker across all runs.
+    pub cycles_checked: u64,
+    /// Every recorded violation, tagged with the run it occurred in
+    /// (`"name"` for singles, `"a+b"` for pairs).
+    pub violations: Vec<(String, InvariantViolation)>,
+    /// Violations dropped by the per-run recording cap, summed.
+    pub dropped: u64,
+}
+
+impl SweepSummary {
+    /// Whether every invariant held in every run (nothing recorded,
+    /// nothing dropped).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+}
+
+/// Runs one invariant-armed session and folds its report into the
+/// summary.
+fn checked_run(
+    cfg: &ChipConfig,
+    sources: &mut [&mut dyn StimulusSource],
+    intervals: u64,
+    cpi: u64,
+    inv: &InvariantConfig,
+    label: &str,
+    summary: &mut SweepSummary,
+) -> Result<(), ChipError> {
+    let chip = Chip::new(cfg.clone())?;
+    let mut session = ChipSession::begin(chip, sources, cpi)?;
+    session.enable_invariants(inv.clone());
+    for _ in 0..intervals {
+        session.run_slice(sources, cpi)?;
+    }
+    let report = session.invariant_report().expect("checker was armed");
+    summary.runs += 1;
+    summary.cycles_checked += report.cycles_checked;
+    summary.dropped += report.dropped;
+    summary.violations.extend(
+        report
+            .violations
+            .into_iter()
+            .map(|v| (label.to_string(), v)),
+    );
+    Ok(())
+}
+
+/// Sweeps the invariant checker across a campaign-shaped set of runs:
+/// each workload in `pool` on its own (idle partner for single-threaded
+/// programs, one stream per core for multi-threaded ones), then every
+/// ordered pair — the same run inventory a characterization campaign
+/// measures, including the SPECrate diagonal.
+///
+/// Pair runs last until the longer program finishes, with the shorter
+/// one restarting, mirroring the production pair runner. Every run is
+/// sliced per measurement interval, so slice-boundary invariants (IPC
+/// conservation, interval bookkeeping) are checked at campaign
+/// granularity too.
+///
+/// # Errors
+///
+/// Propagates fidelity validation and chip construction/run errors.
+pub fn campaign_invariant_sweep(
+    cfg: &ChipConfig,
+    fidelity: Fidelity,
+    pool: &[Workload],
+    inv: InvariantConfig,
+) -> Result<SweepSummary, ChipError> {
+    fidelity.validate()?;
+    let cpi = fidelity.cycles_per_interval();
+    let mut summary = SweepSummary {
+        runs: 0,
+        cycles_checked: 0,
+        violations: Vec::new(),
+        dropped: 0,
+    };
+    // Singles.
+    for w in pool {
+        let intervals = u64::from(w.total_intervals());
+        match w.threading() {
+            Threading::Single => {
+                let mut stream = w.stream(0, cpi);
+                let mut idles: Vec<IdleLoop> =
+                    (1..cfg.num_cores).map(|_| IdleLoop::default()).collect();
+                let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(cfg.num_cores);
+                sources.push(&mut stream);
+                sources.extend(idles.iter_mut().map(|i| i as &mut dyn StimulusSource));
+                checked_run(
+                    cfg,
+                    &mut sources,
+                    intervals,
+                    cpi,
+                    &inv,
+                    w.name(),
+                    &mut summary,
+                )?;
+            }
+            Threading::Multi => {
+                let mut streams: Vec<_> = (0..cfg.num_cores as u64)
+                    .map(|i| w.stream(i, cpi))
+                    .collect();
+                let mut sources: Vec<&mut dyn StimulusSource> = streams
+                    .iter_mut()
+                    .map(|s| s as &mut dyn StimulusSource)
+                    .collect();
+                checked_run(
+                    cfg,
+                    &mut sources,
+                    intervals,
+                    cpi,
+                    &inv,
+                    w.name(),
+                    &mut summary,
+                )?;
+            }
+        }
+    }
+    // Ordered pairs (two-core multi-program runs).
+    if cfg.num_cores == 2 {
+        for a in pool {
+            for b in pool {
+                let intervals = u64::from(a.total_intervals().max(b.total_intervals()));
+                let mut sa = a.stream(0, cpi);
+                let mut sb = b.stream(1, cpi);
+                sa.set_looping(true);
+                sb.set_looping(true);
+                let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut sa, &mut sb];
+                let label = format!("{}+{}", a.name(), b.name());
+                checked_run(
+                    cfg,
+                    &mut sources,
+                    intervals,
+                    cpi,
+                    &inv,
+                    &label,
+                    &mut summary,
+                )?;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmooth_pdn::DecapConfig;
+    use vsmooth_workload::spec2006;
+
+    #[test]
+    fn sweep_covers_singles_and_ordered_pairs() {
+        let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+        let pool: Vec<Workload> = spec2006().into_iter().take(2).collect();
+        let summary = campaign_invariant_sweep(
+            &cfg,
+            Fidelity::Custom(400),
+            &pool,
+            InvariantConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.runs, 2 + 4, "2 singles + 2x2 ordered pairs");
+        assert!(summary.cycles_checked > 0);
+        assert!(
+            summary.is_clean(),
+            "campaign sweep found violations: {:?}",
+            summary.violations
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_fidelity() {
+        let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+        let pool: Vec<Workload> = spec2006().into_iter().take(1).collect();
+        assert!(campaign_invariant_sweep(
+            &cfg,
+            Fidelity::Custom(0),
+            &pool,
+            InvariantConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_reports_violations_with_run_labels() {
+        // A zero-width voltage band is unsatisfiable, so every run must
+        // contribute labeled findings.
+        let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+        let pool: Vec<Workload> = spec2006().into_iter().take(1).collect();
+        let summary = campaign_invariant_sweep(
+            &cfg,
+            Fidelity::Custom(300),
+            &pool,
+            InvariantConfig {
+                voltage_band_pct: 0.0,
+                max_violations: 2,
+                ..InvariantConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!summary.is_clean());
+        assert!(summary
+            .violations
+            .iter()
+            .any(|(label, _)| label == pool[0].name()));
+        assert!(summary
+            .violations
+            .iter()
+            .any(|(label, _)| label.contains('+')));
+    }
+}

@@ -1,0 +1,136 @@
+//! Brute-force reference scheduler for cross-checking `vsmooth-sched`.
+//!
+//! [`schedule_batch`](vsmooth_sched::schedule_batch) builds a batch by
+//! pre-sorting all ordered pairs by policy score and sweeping that
+//! ranking under the repeat constraint. The reference here never sorts:
+//! each selection is a fresh argmax scan over the whole pair matrix.
+//! The two formulations must produce *identical* pair lists (including
+//! order) for every deterministic policy — a disagreement means either
+//! the ranking, the tie-breaking or the constraint bookkeeping drifted.
+
+use vsmooth_sched::{PairOracle, Policy, BATCH_COMBINATIONS, MAX_REPEATS};
+
+/// Reference score of pair `(i, j)` under `policy` — intentionally
+/// restated from the policy definitions rather than calling
+/// [`Policy::score`], so a typo there cannot cancel out here.
+fn score(oracle: &PairOracle, policy: Policy, i: usize, j: usize) -> Option<f64> {
+    match policy {
+        Policy::Droop => Some(-oracle.normalized_droops(i, j)),
+        Policy::Ipc => Some(oracle.normalized_ipc(i, j)),
+        Policy::IpcOverDroopN { n } => {
+            Some(oracle.normalized_ipc(i, j) / oracle.normalized_droops(i, j).max(1e-6).powf(n))
+        }
+        Policy::Random { .. } => None,
+    }
+}
+
+/// Builds a batch schedule for a deterministic `policy` by repeated
+/// argmax, and returns the chosen pairs in selection order.
+///
+/// Semantics being mirrored: a batch is filled in *passes*. Within one
+/// pass each ordered pair is considered at most once, best score first
+/// (ties broken towards the smaller row-major index); a pair is taken
+/// if both programs still fit under the repeat cap (`MAX_REPEATS + 1`
+/// appearances, a self-pair consuming two). When a full pass takes
+/// nothing, the caps reset so small pools can still fill
+/// [`BATCH_COMBINATIONS`] pairs.
+///
+/// Returns `None` for [`Policy::Random`], which has no deterministic
+/// ground truth to mirror.
+pub fn reference_batch(oracle: &PairOracle, policy: Policy) -> Option<Vec<(usize, usize)>> {
+    if matches!(policy, Policy::Random { .. }) {
+        return None;
+    }
+    let n = oracle.len();
+    let mut counts = vec![0usize; n];
+    let mut pairs = Vec::with_capacity(BATCH_COMBINATIONS);
+    while pairs.len() < BATCH_COMBINATIONS {
+        let mut visited = vec![false; n * n];
+        let mut taken_this_pass = 0usize;
+        loop {
+            // Fresh argmax over every pair not yet considered this
+            // pass; strict `>` keeps the first (row-major smallest)
+            // of any score tie, matching a stable descending sort.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                for j in 0..n {
+                    if visited[i * n + j] {
+                        continue;
+                    }
+                    let s = score(oracle, policy, i, j).expect("deterministic policy");
+                    if best.is_none_or(|(_, _, b)| s > b) {
+                        best = Some((i, j, s));
+                    }
+                }
+            }
+            let Some((i, j, _)) = best else { break };
+            visited[i * n + j] = true;
+            let need = if i == j { 2 } else { 1 };
+            if counts[i] + need <= MAX_REPEATS + 1 && counts[j] < MAX_REPEATS + 1 {
+                counts[i] += 1;
+                counts[j] += 1;
+                pairs.push((i, j));
+                taken_this_pass += 1;
+                if pairs.len() >= BATCH_COMBINATIONS {
+                    return Some(pairs);
+                }
+            }
+        }
+        if taken_this_pass == 0 {
+            counts.iter_mut().for_each(|c| *c = 0);
+        }
+    }
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmooth_chip::{ChipConfig, Fidelity};
+    use vsmooth_pdn::DecapConfig;
+    use vsmooth_sched::schedule_batch;
+    use vsmooth_workload::spec2006;
+
+    #[test]
+    fn random_policy_has_no_reference() {
+        let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+        let pool: Vec<_> = spec2006().into_iter().take(2).collect();
+        let oracle = PairOracle::measure(&chip, Fidelity::Custom(300), &pool, 2).unwrap();
+        assert!(reference_batch(&oracle, Policy::Random { seed: 0 }).is_none());
+    }
+
+    #[test]
+    fn reference_matches_production_on_a_tiny_pool() {
+        let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+        let pool: Vec<_> = spec2006().into_iter().take(3).collect();
+        let oracle = PairOracle::measure(&chip, Fidelity::Custom(400), &pool, 4).unwrap();
+        for policy in [Policy::Droop, Policy::Ipc] {
+            let expected = reference_batch(&oracle, policy).unwrap();
+            let got = schedule_batch(&oracle, policy).pairs;
+            assert_eq!(got, expected, "{policy}");
+        }
+    }
+
+    #[test]
+    fn reference_respects_the_repeat_cap_between_resets() {
+        let chip = ChipConfig::core2_duo(DecapConfig::proc100());
+        let pool: Vec<_> = spec2006().into_iter().take(4).collect();
+        let oracle = PairOracle::measure(&chip, Fidelity::Custom(400), &pool, 4).unwrap();
+        let pairs = reference_batch(&oracle, Policy::Ipc).unwrap();
+        assert_eq!(pairs.len(), BATCH_COMBINATIONS);
+        // Replay the pass structure: between resets no program may
+        // exceed MAX_REPEATS + 1 appearances.
+        let mut counts = vec![0usize; oracle.len()];
+        for &(i, j) in &pairs {
+            counts[i] += 1;
+            counts[j] += 1;
+            if counts.iter().any(|&c| c > MAX_REPEATS + 1) {
+                // A reset must have happened; start a new window.
+                counts.iter_mut().for_each(|c| *c = 0);
+                counts[i] += 1;
+                counts[j] += 1;
+            }
+            assert!(counts.iter().all(|&c| c <= MAX_REPEATS + 1));
+        }
+    }
+}

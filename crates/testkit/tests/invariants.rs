@@ -1,0 +1,60 @@
+//! Campaign-scale invariant checking (acceptance criterion: the
+//! invariant checker runs clean over a full campaign shape at custom
+//! fidelity).
+
+use vsmooth_chip::{ChipConfig, Fidelity, InvariantConfig};
+use vsmooth_pdn::DecapConfig;
+use vsmooth_testkit::campaign_invariant_sweep;
+use vsmooth_workload::{parsec, spec2006, Workload};
+
+#[test]
+fn invariants_hold_across_a_campaign_shaped_sweep() {
+    // Three single-threaded CPU2006 programs plus one multi-threaded
+    // PARSEC program: singles exercise the idle-partner path, the
+    // PARSEC entry the one-stream-per-core path, and the ordered pairs
+    // the multi-program path — the full run inventory of a
+    // characterization campaign, at Custom fidelity.
+    let mut pool: Vec<Workload> = spec2006().into_iter().take(3).collect();
+    pool.extend(parsec().into_iter().take(1));
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+    let summary = campaign_invariant_sweep(
+        &cfg,
+        Fidelity::Custom(500),
+        &pool,
+        InvariantConfig::default(),
+    )
+    .expect("sweep runs");
+    assert_eq!(summary.runs, 4 + 16, "4 singles + 4x4 ordered pairs");
+    assert!(summary.cycles_checked > 0);
+    assert!(
+        summary.is_clean(),
+        "invariant violations across the campaign sweep: {:#?}",
+        summary
+            .violations
+            .iter()
+            .map(|(run, v)| format!("{run}: cycle {} {:?} — {}", v.cycle, v.kind, v.detail))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sweep_also_covers_a_stressed_decap_configuration() {
+    // Proc3 is the paper's far-future node: deep droops, the regime
+    // where bookkeeping bugs would hide. The checker must stay clean
+    // there too.
+    let pool: Vec<Workload> = spec2006().into_iter().take(2).collect();
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc3());
+    let summary = campaign_invariant_sweep(
+        &cfg,
+        Fidelity::Custom(500),
+        &pool,
+        InvariantConfig::default(),
+    )
+    .expect("sweep runs");
+    assert_eq!(summary.runs, 2 + 4);
+    assert!(
+        summary.is_clean(),
+        "violations on Proc3: {:?}",
+        summary.violations
+    );
+}

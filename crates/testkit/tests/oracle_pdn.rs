@@ -1,0 +1,193 @@
+//! Differential oracles for the PDN: the state-space simulation checked
+//! against independently derived closed-form circuit solutions.
+//!
+//! Tolerances (documented in `DESIGN.md` §10):
+//! * Thevenin impedance vs `frequency_response`: 1e-9 relative (both
+//!   are exact solutions of the same circuit; only rounding differs).
+//! * Closed-form transient vs bilinear simulation at ~200 samples per
+//!   natural period: 0.5 % of the response swing.
+//! * Sinusoidal drive amplitude vs `|Z(f)|`: 4 % (bilinear frequency
+//!   warping grows with `f·dt`).
+//! * Analytic resonance vs `ImpedanceProfile::compute` peak: 5 % on
+//!   frequency and magnitude (the acceptance criterion; the profile's
+//!   400-point log grid quantizes the peak location).
+
+use std::f64::consts::PI;
+use vsmooth_pdn::{DecapConfig, ImpedanceProfile, LadderConfig, LadderStage};
+use vsmooth_testkit::analytic;
+
+fn single_stage() -> LadderStage {
+    LadderStage {
+        series_r: 1.0e-3,
+        series_l: 50.0e-12,
+        shunt_c: 500.0e-9,
+        shunt_esr: 0.5e-3,
+    }
+}
+
+#[test]
+fn thevenin_impedance_matches_state_space_response() {
+    for pdn in [
+        LadderConfig::core2_duo(DecapConfig::proc100()),
+        LadderConfig::core2_duo(DecapConfig::proc3()),
+        LadderConfig::pentium4_package(1.1),
+    ] {
+        let sys = pdn.state_space().unwrap();
+        for k in 0..40 {
+            let f = 1e3 * 10f64.powf(k as f64 * 6.0 / 39.0); // 1 kHz .. 1 GHz
+            let h = sys.frequency_response(2.0 * PI * f, 1).unwrap()[0].abs();
+            let z = analytic::impedance_magnitude(&pdn, f);
+            assert!(
+                (z - h).abs() / h <= 1e-9,
+                "{} at {f:.3e} Hz: thevenin {z:.6e} vs state-space {h:.6e}",
+                pdn.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_step_matches_closed_form() {
+    let stage = single_stage();
+    let cfg = LadderConfig::new("one-stage", vec![stage], 1.0).unwrap();
+    let period = 2.0 * PI * (stage.series_l * stage.shunt_c).sqrt();
+    let dt = period / 200.0;
+    let (i0, i1) = (2.0, 22.0);
+    let sim = analytic::simulate_step(&cfg, dt, i0, i1, 600).unwrap();
+    let swing = (i1 - i0) * (stage.series_r + stage.shunt_esr);
+    let mut max_rel = 0.0f64;
+    for (k, &v) in sim.iter().enumerate() {
+        let t = (k + 1) as f64 * dt;
+        let exact = analytic::single_stage_step(&stage, 1.0, i0, i1, t);
+        max_rel = max_rel.max((v - exact).abs() / swing);
+    }
+    assert!(
+        max_rel <= 5e-3,
+        "max |sim - closed form| = {:.3e} of the {swing:.3e} V swing",
+        max_rel
+    );
+}
+
+#[test]
+fn simulated_step_matches_closed_form_when_overdamped() {
+    // A lossy stage with real, widely separated eigenvalues exercises
+    // the other matrix-exponential branch.
+    let stage = LadderStage {
+        series_r: 20.0e-3,
+        series_l: 10.0e-12,
+        shunt_c: 2.0e-6,
+        shunt_esr: 15.0e-3,
+    };
+    let cfg = LadderConfig::new("overdamped", vec![stage], 1.0).unwrap();
+    let dt = 2.0e-11;
+    let sim = analytic::simulate_step(&cfg, dt, 0.0, 10.0, 800).unwrap();
+    let swing = 10.0 * (stage.series_r + stage.shunt_esr);
+    for (k, &v) in sim.iter().enumerate() {
+        let t = (k + 1) as f64 * dt;
+        let exact = analytic::single_stage_step(&stage, 1.0, 0.0, 10.0, t);
+        assert!(
+            (v - exact).abs() / swing <= 5e-3,
+            "t={t:.3e}: sim {v:.6e} vs exact {exact:.6e}"
+        );
+    }
+}
+
+#[test]
+fn simulated_pulse_matches_superposition() {
+    let stage = single_stage();
+    let cfg = LadderConfig::new("one-stage", vec![stage], 1.0).unwrap();
+    let period = 2.0 * PI * (stage.series_l * stage.shunt_c).sqrt();
+    let dt = period / 200.0;
+    let (i_base, i_pulse) = (5.0, 15.0);
+    let width_steps = 120usize;
+    let width = width_steps as f64 * dt;
+    // Simulate the rectangular pulse directly on the discretized model.
+    let sys = cfg.state_space().unwrap();
+    let (x0, _) = sys.steady_state(&[1.0, i_base]).unwrap();
+    let mut d = sys.discretize(dt).unwrap();
+    d.set_state(&x0);
+    let swing = i_pulse * (stage.series_r + stage.shunt_esr);
+    for k in 0..600 {
+        let i = if k < width_steps {
+            i_base + i_pulse
+        } else {
+            i_base
+        };
+        let v = d.step_first(&[1.0, i]);
+        let t = (k + 1) as f64 * dt;
+        // At the falling edge the closed form is discontinuous (the
+        // instantaneous ESR jump at exactly t = w) while the sampled
+        // simulation switches between samples; skip the edge instant.
+        if (t - width).abs() <= 1.5 * dt {
+            continue;
+        }
+        let exact = analytic::single_stage_pulse(&stage, 1.0, i_base, i_pulse, width, t);
+        assert!(
+            (v - exact).abs() / swing <= 1e-2,
+            "t={t:.3e}: sim {v:.6e} vs superposed closed form {exact:.6e}"
+        );
+    }
+}
+
+#[test]
+fn sine_drive_amplitude_matches_analytic_impedance() {
+    // Drive the full four-stage Core 2 Duo network with a sinusoidal
+    // load at the chip's own discretization step and compare the
+    // settled voltage swing against a·|Z(f)|.
+    let pdn = LadderConfig::core2_duo(DecapConfig::proc100());
+    let sys = pdn.state_space().unwrap();
+    let vs = pdn.nominal_voltage();
+    let dt = 1.0 / 1.86e9;
+    for f in [1.0e6, 10.0e6, 50.0e6, 100.0e6] {
+        let omega = 2.0 * PI * f;
+        let (x0, _) = sys.steady_state(&[vs, 10.0]).unwrap();
+        let mut d = sys.discretize(dt).unwrap();
+        d.set_state(&x0);
+        let amp = 5.0;
+        let total = ((20.0 / f) / dt) as usize;
+        let (mut vmin, mut vmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for k in 0..total {
+            let i = 10.0 + amp * (omega * (k as f64 * dt)).sin();
+            let v = d.step_first(&[vs, i]);
+            if k >= total / 2 {
+                vmin = vmin.min(v);
+                vmax = vmax.max(v);
+            }
+        }
+        let measured = (vmax - vmin) / 2.0;
+        let predicted = amp * analytic::impedance_magnitude(&pdn, f);
+        let rel = (measured - predicted).abs() / predicted;
+        assert!(
+            rel <= 0.04,
+            "f={f:.2e}: swing {measured:.4e} vs a*|Z| {predicted:.4e} (rel {rel:.3e})"
+        );
+    }
+}
+
+#[test]
+fn analytic_resonance_matches_impedance_profile_peak() {
+    // Acceptance criterion: analytic resonance frequency and peak
+    // impedance within 5% of the simulated sweep, for every decap step.
+    let mut max_rel_f = 0.0f64;
+    let mut max_rel_z = 0.0f64;
+    for decap in DecapConfig::sweep() {
+        let pdn = LadderConfig::core2_duo(decap);
+        let (f_a, z_a) = analytic::resonance(&pdn, 1e5, 1e9);
+        let peak = ImpedanceProfile::compute(&pdn, 1e5, 1e9, 400)
+            .unwrap()
+            .peak();
+        let rel_f = (f_a - peak.frequency_hz).abs() / peak.frequency_hz;
+        let rel_z = (z_a - peak.impedance_ohms).abs() / peak.impedance_ohms;
+        max_rel_f = max_rel_f.max(rel_f);
+        max_rel_z = max_rel_z.max(rel_z);
+        assert!(
+            rel_f <= 0.05 && rel_z <= 0.05,
+            "{}: analytic ({f_a:.4e} Hz, {z_a:.4e} ohm) vs profile \
+             ({:.4e} Hz, {:.4e} ohm) — rel f {rel_f:.3e}, rel |Z| {rel_z:.3e}",
+            pdn.name(),
+            peak.frequency_hz,
+            peak.impedance_ohms
+        );
+    }
+    println!("max relative error: frequency {max_rel_f:.3e}, impedance {max_rel_z:.3e}");
+}

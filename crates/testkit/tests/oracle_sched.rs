@@ -1,0 +1,65 @@
+//! Differential oracle for the batch scheduler: the production greedy
+//! sweep (`schedule_batch`, pre-sorted ranking) cross-checked against
+//! the testkit's repeated-argmax reference on seeded workload pools.
+//!
+//! Acceptance criterion: the two implementations agree — exactly,
+//! including pair order — on at least three small seeded pools for
+//! every deterministic policy.
+
+use proptest::TestRng;
+use vsmooth_chip::{ChipConfig, Fidelity};
+use vsmooth_pdn::DecapConfig;
+use vsmooth_sched::{schedule_batch, PairOracle, Policy, BATCH_COMBINATIONS};
+use vsmooth_testkit::generator::gen_workload_pool;
+use vsmooth_testkit::reference_batch;
+
+const POLICIES: [Policy; 4] = [
+    Policy::Droop,
+    Policy::Ipc,
+    Policy::IpcOverDroopN { n: 0.5 },
+    Policy::IpcOverDroopN { n: 1.0 },
+];
+
+fn seeded_oracle(seed: u64, pool_size: usize) -> PairOracle {
+    let chip = ChipConfig::core2_duo(DecapConfig::proc3());
+    let pool = gen_workload_pool(&mut TestRng::new(seed), pool_size);
+    PairOracle::measure(&chip, Fidelity::Custom(600), &pool, 4).expect("oracle measurement")
+}
+
+#[test]
+fn production_scheduler_matches_reference_on_three_seeded_pools() {
+    for (seed, pool_size) in [(11, 3), (22, 4), (33, 5)] {
+        let oracle = seeded_oracle(seed, pool_size);
+        for policy in POLICIES {
+            let reference = reference_batch(&oracle, policy).expect("deterministic policy");
+            let production = schedule_batch(&oracle, policy).pairs;
+            assert_eq!(
+                production, reference,
+                "pool seed {seed} (n={pool_size}), policy {policy}: \
+                 greedy sweep disagrees with argmax reference"
+            );
+            assert_eq!(reference.len(), BATCH_COMBINATIONS);
+        }
+    }
+}
+
+#[test]
+fn reference_matches_on_the_catalog_prefix_too() {
+    // Not just generated pools: the first four real CPU2006 entries.
+    let chip = ChipConfig::core2_duo(DecapConfig::proc3());
+    let pool: Vec<_> = vsmooth_workload::spec2006().into_iter().take(4).collect();
+    let oracle = PairOracle::measure(&chip, Fidelity::Custom(600), &pool, 4).unwrap();
+    for policy in POLICIES {
+        assert_eq!(
+            schedule_batch(&oracle, policy).pairs,
+            reference_batch(&oracle, policy).unwrap(),
+            "catalog pool, policy {policy}"
+        );
+    }
+}
+
+#[test]
+fn random_policy_is_out_of_reference_scope() {
+    let oracle = seeded_oracle(44, 2);
+    assert!(reference_batch(&oracle, Policy::Random { seed: 9 }).is_none());
+}

@@ -1,0 +1,110 @@
+//! Metamorphic properties of the chip layer under seeded scenario
+//! generation (properties P5–P7 of `DESIGN.md` §10).
+
+use proptest::prelude::*;
+use vsmooth_chip::{Chip, ChipConfig, ChipSession, InvariantConfig};
+use vsmooth_pdn::DecapConfig;
+use vsmooth_testkit::generator::{gen_chip, gen_workload, strategy_of};
+use vsmooth_uarch::{IdleLoop, StimulusSource};
+use vsmooth_workload::Workload;
+
+/// Custom-fidelity measurement interval used by all three properties.
+const CPI: u64 = 300;
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    strategy_of(|rng: &mut TestRng| gen_workload(rng, "prop"))
+}
+
+proptest! {
+    /// P5 — slice-split invariance: measuring a workload in one shot
+    /// and interval-by-interval through a session must yield identical
+    /// statistics, for any generated workload. The session layer is a
+    /// pure refactoring of the one-shot loop; any drift is a bug.
+    #[test]
+    fn sliced_measurement_equals_one_shot(w in workload_strategy()) {
+        let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+        let intervals = w.total_intervals();
+        let total = u64::from(intervals) * CPI;
+
+        let one_shot = {
+            let mut chip = Chip::new(cfg.clone()).expect("chip");
+            let mut s = w.stream(0, CPI);
+            let mut idle = IdleLoop::default();
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            chip.run(&mut sources, total, CPI).expect("run")
+        };
+
+        let sliced = {
+            let chip = Chip::new(cfg).expect("chip");
+            let mut s = w.stream(0, CPI);
+            let mut idle = IdleLoop::default();
+            let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            let mut session = ChipSession::begin(chip, &mut warm, CPI).expect("begin");
+            for _ in 0..intervals {
+                let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+                session.run_slice(&mut sources, CPI).expect("slice");
+            }
+            session.finish()
+        };
+
+        prop_assert_eq!(one_shot, sliced);
+    }
+
+    /// P6 — per-event droop capture vs aggregate grid: at any margin
+    /// that sits exactly on a `CrossingGrid` threshold, the number of
+    /// captured crossing events equals the grid's emergency count. Two
+    /// independent accounting paths over the same waveform.
+    #[test]
+    fn droop_capture_agrees_with_grid_at_quantized_margins(
+        (w, k) in (workload_strategy(), 0u64..=18)
+    ) {
+        let margin = 0.5 + 0.25 * k as f64; // exactly on grid lines
+        let cfg = ChipConfig::core2_duo(DecapConfig::proc3());
+        let chip = Chip::new(cfg).expect("chip");
+        let mut s = w.stream(0, CPI);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip, &mut warm, CPI).expect("begin");
+        session.capture_droops(margin);
+        for _ in 0..w.total_intervals() {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, CPI).expect("slice");
+        }
+        let captured = session.take_droop_crossings();
+        let stats = session.finish();
+        prop_assert_eq!(
+            captured.len() as u64,
+            stats.emergencies(margin),
+            "margin {}%: event log vs grid count",
+            margin
+        );
+        for ev in &captured {
+            prop_assert!(ev.depth_pct >= margin);
+        }
+    }
+
+    /// P7 — the physics/bookkeeping invariants hold on randomly drawn
+    /// chips (random decap level, perturbed clock) running randomly
+    /// generated workloads — not just on the calibrated platform.
+    #[test]
+    fn invariants_hold_on_random_chips_and_workloads(
+        (chip_cfg, w) in (strategy_of(gen_chip), workload_strategy())
+    ) {
+        let chip = Chip::new(chip_cfg).expect("generated chip is valid");
+        let mut s = w.stream(0, CPI);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip, &mut warm, CPI).expect("begin");
+        session.enable_invariants(InvariantConfig::default());
+        for _ in 0..w.total_intervals() {
+            let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+            session.run_slice(&mut sources, CPI).expect("slice");
+        }
+        let report = session.invariant_report().expect("armed");
+        prop_assert!(
+            report.is_clean(),
+            "violations on a generated chip/workload: {:?}",
+            report.violations
+        );
+    }
+}

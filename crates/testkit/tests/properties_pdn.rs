@@ -1,0 +1,100 @@
+//! Metamorphic properties of the PDN layer under seeded scenario
+//! generation (properties P1–P4 of `DESIGN.md` §10).
+
+use proptest::prelude::*;
+use std::f64::consts::PI;
+use vsmooth_pdn::{DecapConfig, LadderConfig};
+use vsmooth_testkit::analytic;
+use vsmooth_testkit::generator::{gen_ladder, strategy_of};
+
+proptest! {
+    /// P1 — on every generated ladder, the independent complex Thevenin
+    /// reduction agrees with the state-space frequency response at any
+    /// frequency in 1 kHz..1 GHz.
+    #[test]
+    fn thevenin_matches_state_space_on_random_ladders(
+        (pdn, u) in (strategy_of(gen_ladder), 0.0f64..1.0)
+    ) {
+        let f = 1e3 * 10f64.powf(6.0 * u);
+        let sys = pdn.state_space().expect("generated ladder is valid");
+        let h = sys.frequency_response(2.0 * PI * f, 1).expect("passive network")[0].abs();
+        let z = analytic::impedance_magnitude(&pdn, f);
+        prop_assert!(
+            (z - h).abs() <= 1e-6 * h.max(1e-12),
+            "ladder {:?} at {f:.3e} Hz: thevenin {z:.9e} vs state-space {h:.9e}",
+            pdn.stages()
+        );
+    }
+
+    /// P2 — the DC operating point of every generated ladder obeys the
+    /// IR-droop law `v = vs − I·ΣR` regardless of topology details.
+    #[test]
+    fn dc_law_holds_on_random_ladders(
+        (pdn, i_load) in (strategy_of(gen_ladder), 0.0f64..30.0)
+    ) {
+        let sys = pdn.state_space().expect("valid ladder");
+        let vs = pdn.nominal_voltage();
+        let (_, y) = sys.steady_state(&[vs, i_load]).expect("DC point exists");
+        let expect = vs - i_load * pdn.total_series_resistance();
+        prop_assert!(
+            (y[0] - expect).abs() <= 1e-9,
+            "v_die {:.9e} vs IR law {expect:.9e} at I={i_load}",
+            y[0]
+        );
+    }
+
+    /// P3 — linearity (homogeneity): doubling the load step doubles the
+    /// voltage deviation at every sample, for any generated ladder. The
+    /// bilinear discretization must preserve the LTI structure exactly.
+    #[test]
+    fn step_response_is_homogeneous(
+        (pdn, i_step) in (strategy_of(gen_ladder), 1.0f64..20.0)
+    ) {
+        // Sample around the fastest stage's natural period.
+        let min_lc = pdn
+            .stages()
+            .iter()
+            .map(|s| s.series_l * s.shunt_c)
+            .fold(f64::INFINITY, f64::min);
+        let dt = 2.0 * PI * min_lc.sqrt() / 50.0;
+        let vs = pdn.nominal_voltage();
+        let once = analytic::simulate_step(&pdn, dt, 0.0, i_step, 200).expect("sim");
+        let twice = analytic::simulate_step(&pdn, dt, 0.0, 2.0 * i_step, 200).expect("sim");
+        let scale = once
+            .iter()
+            .map(|v| (v - vs).abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        for (k, (v1, v2)) in once.iter().zip(&twice).enumerate() {
+            let d1 = v1 - vs;
+            let d2 = v2 - vs;
+            prop_assert!(
+                (d2 - 2.0 * d1).abs() <= 1e-9 * scale,
+                "sample {k}: 2x step deviation {d2:.9e} vs doubled 1x {:.9e}",
+                2.0 * d1
+            );
+        }
+    }
+
+    /// P4 — removing package decap can only raise the mid-frequency
+    /// impedance: |Z(1 MHz)| is monotone non-increasing in the retained
+    /// percentage (the physics behind the paper's Fig. 4b).
+    #[test]
+    fn impedance_is_monotone_in_decap_retention(
+        (a, b) in (0u8..=100, 0u8..=100)
+    ) {
+        let (less, more) = (a.min(b), a.max(b));
+        let z_less = analytic::impedance_magnitude(
+            &LadderConfig::core2_duo(DecapConfig::with_percent(less)),
+            1.0e6,
+        );
+        let z_more = analytic::impedance_magnitude(
+            &LadderConfig::core2_duo(DecapConfig::with_percent(more)),
+            1.0e6,
+        );
+        prop_assert!(
+            z_less >= z_more - 1e-15,
+            "Proc{less} |Z| {z_less:.6e} < Proc{more} |Z| {z_more:.6e}"
+        );
+    }
+}

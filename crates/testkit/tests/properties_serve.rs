@@ -1,0 +1,55 @@
+//! Metamorphic properties of the serving layer under seeded scenario
+//! generation (properties P8–P9 of `DESIGN.md` §10).
+
+use proptest::prelude::*;
+use vsmooth_chip::ChipConfig;
+use vsmooth_pdn::DecapConfig;
+use vsmooth_sched::OnlineDroop;
+use vsmooth_serve::{JobSpec, Service, ServiceConfig, ServiceReport};
+use vsmooth_testkit::generator::{gen_job_stream, strategy_of};
+
+fn service_config() -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.chips = 2;
+    cfg.slice_cycles = 600;
+    cfg
+}
+
+fn run(cfg: ServiceConfig, jobs: &[JobSpec], workers: usize) -> ServiceReport {
+    Service::new(cfg)
+        .expect("valid config")
+        .run(jobs, &OnlineDroop, workers)
+        .expect("service run")
+}
+
+proptest! {
+    /// P8 — worker-count invariance: for any generated job stream, the
+    /// service report (including its byte-level rendering) is identical
+    /// whether one or three OS threads simulate the chip pool. The
+    /// virtual timeline, not thread interleaving, must decide outcomes.
+    #[test]
+    fn report_is_worker_count_invariant(
+        jobs in strategy_of(|rng: &mut TestRng| gen_job_stream(rng, 8, 900))
+    ) {
+        let solo = run(service_config(), &jobs, 1);
+        let pooled = run(service_config(), &jobs, 3);
+        prop_assert_eq!(&solo, &pooled);
+        prop_assert_eq!(solo.render(), pooled.render());
+        prop_assert_eq!(solo.jobs_completed as usize, jobs.len());
+    }
+
+    /// P9 — a queue bound that can never bind must not change
+    /// behaviour: with capacity equal to the whole stream, the report
+    /// is identical to the unbounded default.
+    #[test]
+    fn non_binding_queue_capacity_is_transparent(
+        jobs in strategy_of(|rng: &mut TestRng| gen_job_stream(rng, 8, 400))
+    ) {
+        let unbounded = run(service_config(), &jobs, 2);
+        let mut bounded_cfg = service_config();
+        bounded_cfg.queue_capacity = Some(jobs.len());
+        let bounded = run(bounded_cfg, &jobs, 2);
+        prop_assert_eq!(&unbounded, &bounded);
+        prop_assert_eq!(unbounded.render(), bounded.render());
+    }
+}

@@ -351,6 +351,36 @@ pub fn by_name(name: &str) -> Option<Workload> {
         .find(|w| w.name() == name)
 }
 
+/// Like [`by_name`], but with a typed error naming the missing
+/// workload — the right shape for config-driven callers that want to
+/// surface "unknown workload `foo`" instead of unwrapping an `Option`.
+///
+/// # Errors
+///
+/// [`WorkloadError::UnknownWorkload`] when the name is in neither
+/// suite.
+pub fn lookup(name: &str) -> Result<Workload, WorkloadError> {
+    by_name(name).ok_or_else(|| WorkloadError::UnknownWorkload(name.to_string()))
+}
+
+/// Errors from catalog lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The requested name matches no workload in either suite.
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +390,15 @@ mod tests {
     fn suite_sizes_match_paper() {
         assert_eq!(spec2006().len(), 29, "29 single-threaded CPU2006 workloads");
         assert_eq!(parsec().len(), 11, "11 Parsec programs");
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        assert!(by_name("999.nonesuch").is_none());
+        let err = lookup("999.nonesuch").unwrap_err();
+        assert_eq!(err, WorkloadError::UnknownWorkload("999.nonesuch".into()));
+        assert!(err.to_string().contains("999.nonesuch"));
+        assert_eq!(lookup("429.mcf").unwrap().name(), "429.mcf");
     }
 
     #[test]

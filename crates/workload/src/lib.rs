@@ -32,6 +32,6 @@ pub mod catalog;
 pub mod phase;
 pub mod stream;
 
-pub use catalog::{by_name, parsec, spec2006, Suite, Threading, Workload};
+pub use catalog::{by_name, lookup, parsec, spec2006, Suite, Threading, Workload, WorkloadError};
 pub use phase::{EventMix, Phase, PhaseTimeline};
 pub use stream::EventStream;

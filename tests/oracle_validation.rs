@@ -1,0 +1,38 @@
+//! Tier-1 oracle validation: the analytic Thevenin resonance must
+//! agree with the simulated impedance sweep for every decap step of
+//! the Core 2 Duo platform. This is the cheap always-on slice of the
+//! full differential-oracle suite in `crates/testkit/tests/`.
+
+use vsmooth::pdn::{DecapConfig, ImpedanceProfile, LadderConfig};
+use vsmooth::testkit::analytic;
+
+#[test]
+fn analytic_and_simulated_resonance_agree_within_5_percent() {
+    let mut max_rel_f = 0.0f64;
+    let mut max_rel_z = 0.0f64;
+    let mut worst = String::new();
+    for decap in DecapConfig::sweep() {
+        let pdn = LadderConfig::core2_duo(decap);
+        let (f_a, z_a) = analytic::resonance(&pdn, 1e5, 1e9);
+        let peak = ImpedanceProfile::compute(&pdn, 1e5, 1e9, 400)
+            .expect("impedance sweep")
+            .peak();
+        let rel_f = (f_a - peak.frequency_hz).abs() / peak.frequency_hz;
+        let rel_z = (z_a - peak.impedance_ohms).abs() / peak.impedance_ohms;
+        if rel_f > max_rel_f || rel_z > max_rel_z {
+            worst = format!(
+                "{}: analytic ({f_a:.4e} Hz, {z_a:.4e} ohm) vs simulated \
+                 ({:.4e} Hz, {:.4e} ohm)",
+                pdn.name(),
+                peak.frequency_hz,
+                peak.impedance_ohms
+            );
+        }
+        max_rel_f = max_rel_f.max(rel_f);
+        max_rel_z = max_rel_z.max(rel_z);
+    }
+    assert!(
+        max_rel_f <= 0.05 && max_rel_z <= 0.05,
+        "max relative error: frequency {max_rel_f:.3e}, impedance {max_rel_z:.3e} — {worst}"
+    );
+}

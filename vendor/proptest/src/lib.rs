@@ -74,6 +74,34 @@ pub trait Strategy {
 
     /// Generates one value for the current test case.
     fn pick_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors
+    /// `proptest::strategy::Strategy::prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn pick_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.pick_value(rng))
+    }
 }
 
 macro_rules! impl_strategy_uint {
@@ -204,6 +232,32 @@ pub mod collection {
     }
 }
 
+/// Strategies that sample from explicit value sets.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding clones of elements drawn uniformly from a
+    /// fixed list (mirrors `proptest::sample::select`).
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform draw from `options` (panics if empty).
+    pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "select from an empty list");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// Number of generated cases per property (reads `PROPTEST_CASES`).
 pub fn case_count() -> u64 {
     std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
@@ -241,9 +295,9 @@ pub fn run_cases(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), Te
 
 /// The glob-import surface mirroring `proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::collection;
+    pub use crate::{collection, sample};
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
-    pub use crate::{Just, Strategy, TestCaseError, TestRng};
+    pub use crate::{Just, Map, Strategy, TestCaseError, TestRng};
 }
 
 /// Defines property tests: each function body runs over many generated
@@ -343,6 +397,16 @@ mod tests {
             prop_assume!(a != b);
             prop_assert!(a < 10 && b < 10, "a={} b={}", a, b);
             prop_assert_eq!(a == b, false, "tuple elements {} {}", a, b);
+        }
+
+        #[test]
+        fn prop_map_transforms_values(x in (0u32..100).prop_map(|n| n * 2)) {
+            prop_assert!(x % 2 == 0 && x < 200);
+        }
+
+        #[test]
+        fn select_draws_from_the_list(name in sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&name));
         }
     }
 
