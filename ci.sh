@@ -36,6 +36,34 @@ grep -q '^{"traceEvents":\[' target/ci_trace.json \
 grep -q 'droops_total{policy=' target/ci_metrics.prom
 grep -q 'queue_wait_kcycles{quantile="0.99"}' target/ci_metrics.prom
 
+echo "== monitor demo (artifact validation) =="
+# The demo runs the staged degradation scenario, asserts both SLO
+# rules fire after the noisy burst, re-validates every sealed
+# vsmooth-postmortem-v1 bundle with the offline validator, and proves
+# 1/2/8-worker byte-determinism of the health artifact. Afterwards
+# check the written health JSON and the Prometheus alert counters the
+# demo prints.
+cargo run -q --example monitor_demo --release -- target/ci_health.json \
+    | tee target/ci_monitor_demo.out
+test -s target/ci_health.json
+grep -q '"schema": "vsmooth-health-v1"' target/ci_health.json \
+    || { echo "health JSON lacks the vsmooth-health-v1 schema tag"; exit 1; }
+grep -q '"schema": "vsmooth-postmortem-v1"' target/ci_health.json \
+    || { echo "health JSON embeds no vsmooth-postmortem-v1 bundle"; exit 1; }
+grep -q 'alerts_total{rule="droop_rate_anomaly",severity="warning"}' \
+    target/ci_monitor_demo.out
+grep -q 'alerts_total{rule="recovery_budget_burn",severity="critical"}' \
+    target/ci_monitor_demo.out
+grep -q 'monitor_droop_rate_per_kilocycle' target/ci_monitor_demo.out
+
+echo "== serve bench (quick, machine-readable) =="
+# Median wall time and simulated kcycles/sec per worker count plus
+# armed-instrument overhead ratios, written for the perf trajectory.
+cargo run -q -p vsmooth-bench --bin serve_bench --release -- BENCH_serve.json
+test -s BENCH_serve.json
+grep -q '"schema": "vsmooth-serve-bench-v1"' BENCH_serve.json
+grep -q '"median_kcycles_per_sec"' BENCH_serve.json
+
 echo "== profile demo (artifact validation) =="
 # The demo asserts 1/2/8-worker byte-determinism and droop-count
 # agreement internally; afterwards check the JSON artifact shape.

@@ -12,7 +12,10 @@
 //! Perfetto) and a Prometheus text snapshot of the labeled metrics.
 //! `--profile-out <path>` upgrades that pass to a profiled one and
 //! writes the droop root-cause attribution report as a JSON artifact
-//! (see `vsmooth-profile`).
+//! (see `vsmooth-profile`). `--monitor-out <path>` attaches a live
+//! health monitor to the pass and writes the final `vsmooth-health-v1`
+//! report — windowed signals, SLO alerts, and any sealed
+//! flight-recorder postmortems (see `vsmooth-monitor`).
 
 use vsmooth::report;
 use vsmooth::VsmoothError;
@@ -21,16 +24,19 @@ fn main() -> Result<(), VsmoothError> {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut profile_out: Option<String> = None;
+    let mut monitor_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => trace_out = args.next(),
             "--metrics-out" => metrics_out = args.next(),
             "--profile-out" => profile_out = args.next(),
+            "--monitor-out" => monitor_out = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: repro [--trace-out <path>] [--metrics-out <path>] [--profile-out <path>]"
+                    "usage: repro [--trace-out <path>] [--metrics-out <path>] \
+                     [--profile-out <path>] [--monitor-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -106,15 +112,32 @@ fn main() -> Result<(), VsmoothError> {
         report::serve_comparison(&lab.serve_comparison(2010, 120)?)
     );
 
-    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
+    if trace_out.is_some()
+        || metrics_out.is_some()
+        || profile_out.is_some()
+        || monitor_out.is_some()
+    {
         let tracer = vsmooth::trace::Tracer::enabled();
-        // Profiling rides on the same service pass: the schedule (and
-        // thus the trace and metrics) is identical either way.
-        let (traced, profile) = if profile_out.is_some() {
+        // Profiling and monitoring ride on the same service pass: the
+        // schedule (and thus the trace and metrics) is identical either
+        // way. When both are requested the monitor gets its own pass
+        // (same stream, same schedule) since a pass carries one
+        // instrument.
+        let (traced, profile, health) = if profile_out.is_some() {
             let (report, profile) = lab.serve_profiled(2010, 120, &tracer)?;
-            (report, Some(profile))
+            let health = match monitor_out {
+                Some(_) => Some(
+                    lab.serve_monitored(2010, 120, &vsmooth::trace::Tracer::disabled())?
+                        .1,
+                ),
+                None => None,
+            };
+            (report, Some(profile), health)
+        } else if monitor_out.is_some() {
+            let (report, health) = lab.serve_monitored(2010, 120, &tracer)?;
+            (report, None, Some(health))
         } else {
-            (lab.serve_traced(2010, 120, &tracer)?, None)
+            (lab.serve_traced(2010, 120, &tracer)?, None, None)
         };
         if let Some(path) = &trace_out {
             std::fs::write(path, tracer.to_chrome_json()).expect("write trace JSON");
@@ -134,6 +157,15 @@ fn main() -> Result<(), VsmoothError> {
                 "wrote droop attribution profile ({} droops, {} co-schedules) to {path}",
                 profile.total_droops,
                 profile.workloads.len()
+            );
+        }
+        if let (Some(path), Some(health)) = (&monitor_out, &health) {
+            std::fs::write(path, health.to_json()).expect("write health JSON");
+            println!(
+                "wrote health report ({} epochs, {} alerts, {} postmortems) to {path}",
+                health.epochs,
+                health.alerts.len(),
+                health.postmortems.len()
             );
         }
     }

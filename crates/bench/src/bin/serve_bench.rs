@@ -1,0 +1,157 @@
+//! Quick machine-readable serve benchmark: the scheduling-service
+//! throughput of the `serve_throughput` bench and the instrumentation
+//! overhead of the `trace_overhead` / `profile_overhead` /
+//! `monitor_guard` paths, condensed into medians and written as a
+//! small JSON artifact so CI can track the perf trajectory.
+//!
+//! ```text
+//! cargo run -p vsmooth-bench --bin serve_bench --release [BENCH_serve.json]
+//! ```
+//!
+//! Shape (`vsmooth-serve-bench-v1`): per worker count the median
+//! wall-clock milliseconds and simulated kilocycles per second over
+//! `ROUNDS` runs of an identical job stream, plus the median overhead
+//! ratio of each armed instrument relative to the plain run.
+
+use std::time::Instant;
+
+use vsmooth::chip::ChipConfig;
+use vsmooth::monitor::MonitorConfig;
+use vsmooth::pdn::DecapConfig;
+use vsmooth::profile::ProfileConfig;
+use vsmooth::sched::OnlineDroop;
+use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig};
+use vsmooth::trace::Tracer;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ROUNDS: usize = 5;
+const JOBS: usize = 48;
+const SLICE: u64 = 600;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.slice_cycles = SLICE;
+    let service = Service::new(cfg).expect("valid config");
+    let jobs = synthetic_jobs(2010, JOBS, 900);
+
+    // Throughput per worker count: median wall time and simulated
+    // kilocycles per wall second over identical runs.
+    let mut rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        // One warm-up, then the timed rounds.
+        let warm = service
+            .run(&jobs, &OnlineDroop, workers)
+            .expect("service run");
+        let mut wall_ms = Vec::with_capacity(ROUNDS);
+        let mut kcps = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let report = service
+                .run(&jobs, &OnlineDroop, workers)
+                .expect("service run");
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(report.chip_cycles, warm.chip_cycles, "schedule drifted");
+            wall_ms.push(secs * 1e3);
+            kcps.push(report.chip_cycles as f64 / 1e3 / secs);
+        }
+        println!(
+            "serve_throughput workers={workers}: {:.1} ms, {:.0} kcycles/sec",
+            median(wall_ms.clone()),
+            median(kcps.clone())
+        );
+        rows.push((workers, median(wall_ms), median(kcps)));
+    }
+
+    // Armed-instrument overhead at one worker, as a ratio over the
+    // plain run (same stream, same schedule).
+    let time_run = |run: &dyn Fn()| -> f64 {
+        run(); // warm up
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            run();
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        median(samples)
+    };
+    let plain = time_run(&|| {
+        service.run(&jobs, &OnlineDroop, 1).expect("service run");
+    });
+    let overhead = |name: &str, secs: f64| -> (String, f64) {
+        let ratio = secs / plain.max(1e-9);
+        println!("{name} overhead: {ratio:.2}x");
+        (name.to_string(), ratio)
+    };
+    let ratios = [
+        overhead(
+            "traced",
+            time_run(&|| {
+                let tracer = Tracer::enabled();
+                service
+                    .run_traced(&jobs, &OnlineDroop, 1, &tracer)
+                    .expect("service run");
+            }),
+        ),
+        overhead(
+            "profiled",
+            time_run(&|| {
+                service
+                    .run_profiled(
+                        &jobs,
+                        &OnlineDroop,
+                        1,
+                        &Tracer::disabled(),
+                        ProfileConfig::default(),
+                    )
+                    .expect("service run");
+            }),
+        ),
+        overhead(
+            "monitored",
+            time_run(&|| {
+                service
+                    .run_monitored(
+                        &jobs,
+                        &OnlineDroop,
+                        1,
+                        &Tracer::disabled(),
+                        MonitorConfig::default(),
+                    )
+                    .expect("service run");
+            }),
+        ),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"vsmooth-serve-bench-v1\",\n");
+    out.push_str(&format!("  \"jobs\": {JOBS},\n"));
+    out.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    out.push_str(&format!("  \"slice_cycles\": {SLICE},\n"));
+    out.push_str("  \"throughput\": [\n");
+    for (i, (workers, ms, kcps)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {workers}, \"median_wall_ms\": {ms:.3}, \
+             \"median_kcycles_per_sec\": {kcps:.1}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"overhead_ratio\": {\n");
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {ratio:.3}{}\n",
+            if i + 1 < ratios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, out).expect("write bench JSON");
+    println!("wrote {path}");
+}

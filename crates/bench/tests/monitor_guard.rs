@@ -1,0 +1,107 @@
+//! Overhead guard for dormant health monitoring: the droop-capture
+//! hook the monitor shares with tracing sits inside the chip
+//! measurement loop behind an `Option` that stays `None` unless
+//! `Service::run_monitored` armed it, and all window/rule/recorder
+//! work happens coordinator-side, once per slice. This test enforces
+//! that an unmonitored run stays within a generous factor of the plain
+//! baseline — i.e. the dormant hook compiles down to a branch, not
+//! work.
+//!
+//! Timing in CI is noisy, so the bound is deliberately loose (2.5x on
+//! medians of several rounds); a real regression — per-cycle feeding
+//! or per-cycle rule evaluation on the unmonitored path — shows up as
+//! an order of magnitude.
+
+use std::time::{Duration, Instant};
+
+use vsmooth::chip::ChipConfig;
+use vsmooth::monitor::MonitorConfig;
+use vsmooth::pdn::DecapConfig;
+use vsmooth::sched::OnlineDroop;
+use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig};
+use vsmooth::trace::Tracer;
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn unmonitored_runs_pay_nothing_for_the_health_hooks() {
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.chips = 2;
+    cfg.slice_cycles = 600;
+    let service = Service::new(cfg).expect("valid config");
+    let jobs = synthetic_jobs(7, 12, 900);
+
+    let time_plain = || -> Duration {
+        let start = Instant::now();
+        let report = service.run(&jobs, &OnlineDroop, 1).expect("service run");
+        assert_eq!(report.jobs_completed, 12);
+        start.elapsed()
+    };
+
+    // Warm up caches and lazy init before timing anything, then time
+    // the same unmonitored path twice: run-to-run jitter is the only
+    // thing separating the two series, so a stable ratio proves the
+    // dormant hooks add nothing measurable.
+    time_plain();
+    let rounds = 5;
+    let mut first = Vec::with_capacity(rounds);
+    let mut second = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        first.push(time_plain());
+        second.push(time_plain());
+    }
+    let first = median(first);
+    let second = median(second);
+    let ratio = second.as_secs_f64() / first.as_secs_f64().max(1e-9);
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "unmonitored timing unstable: {first:?} vs {second:?} (ratio {ratio:.2})"
+    );
+
+    // Armed monitoring pays droop capture plus once-per-slice window
+    // and rule work, but it must stay a constant factor of the
+    // simulation itself, not blow it up.
+    let time_monitored = || -> Duration {
+        let start = Instant::now();
+        service
+            .run_monitored(
+                &jobs,
+                &OnlineDroop,
+                1,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .expect("service run");
+        start.elapsed()
+    };
+    time_monitored();
+    let mut monitored_rounds = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        monitored_rounds.push(time_monitored());
+    }
+    let monitored_time = median(monitored_rounds);
+    let overhead = monitored_time.as_secs_f64() / first.min(second).as_secs_f64().max(1e-9);
+    assert!(
+        overhead <= 8.0,
+        "armed monitoring too expensive: {monitored_time:?} vs {first:?} ({overhead:.2}x)"
+    );
+
+    // The structural guarantee, independent of wall-clock noise:
+    // monitoring must change nothing about the measurement itself.
+    let plain = service.run(&jobs, &OnlineDroop, 1).expect("service run");
+    let (monitored, health) = service
+        .run_monitored(
+            &jobs,
+            &OnlineDroop,
+            1,
+            &Tracer::disabled(),
+            MonitorConfig::default(),
+        )
+        .expect("service run");
+    assert_eq!(plain.droops, monitored.droops);
+    assert_eq!(plain.completed, monitored.completed);
+    assert_eq!(health.epochs, monitored.epochs);
+}

@@ -167,6 +167,7 @@ impl MeasureState {
         let droops_before = self.droops.events_at(PHASE_MARGIN_PCT);
         let counters_before = chip.core_counters();
         let mut min_dev = 0.0f64;
+        let mut sum_dev = 0.0f64;
         for c in 0..cycles {
             let recovery = match hook.as_mut() {
                 Some(h) => h(self.last_sensed) == CycleControl::Recovery,
@@ -176,6 +177,7 @@ impl MeasureState {
             self.last_sensed = v;
             let dev = self.sensor.record(v);
             min_dev = min_dev.min(dev);
+            sum_dev += dev;
             self.droops.observe(dev);
             self.overshoots.observe(dev);
             let mut crossing_started = false;
@@ -233,6 +235,11 @@ impl MeasureState {
             cycles,
             droops: self.droops.events_at(PHASE_MARGIN_PCT) - droops_before,
             max_droop_pct: -min_dev,
+            mean_dev_pct: if cycles == 0 {
+                0.0
+            } else {
+                sum_dev / cycles as f64
+            },
             core_deltas,
         }
     }
@@ -261,6 +268,10 @@ pub struct SliceStats {
     /// Deepest droop observed in this slice, percent below nominal
     /// (0 if the voltage never dipped below nominal).
     pub max_droop_pct: f64,
+    /// Mean sensed voltage deviation over the slice, percent of
+    /// nominal (negative = below nominal). A monitor turns this into
+    /// the mean voltage margin: `PHASE_MARGIN_PCT + mean_dev_pct`.
+    pub mean_dev_pct: f64,
     /// Per-core counter deltas for this slice — the software-visible
     /// telemetry an online scheduler samples.
     pub core_deltas: Vec<PerfCounters>,
@@ -659,6 +670,24 @@ mod tests {
             stats.emergencies(3.0) - before_rearm,
             "post-re-arm capture must match the grid at the new margin"
         );
+    }
+
+    #[test]
+    fn slice_mean_dev_matches_sensor_mean() {
+        // A single slice covering the whole measurement must report
+        // the same mean deviation the sensor accumulates.
+        let w = by_name("482.sphinx3").unwrap();
+        let mut s = w.stream(0, 5_000);
+        s.set_looping(true);
+        let mut idle = IdleLoop::default();
+        let mut warm: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let mut session = ChipSession::begin(chip(), &mut warm, 5_000).unwrap();
+        let mut sources: Vec<&mut dyn StimulusSource> = vec![&mut s, &mut idle];
+        let slice = session.run_slice(&mut sources, 15_000).unwrap();
+        let stats = session.finish();
+        let sensor_mean = stats.sensor.summary().mean();
+        assert!((slice.mean_dev_pct - sensor_mean).abs() < 1e-9);
+        assert!(slice.mean_dev_pct > -PHASE_MARGIN_PCT);
     }
 
     #[test]

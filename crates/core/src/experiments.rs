@@ -582,6 +582,42 @@ impl Lab {
             )
             .map_err(VsmoothError::from)
     }
+
+    /// The run behind `repro --monitor-out`: like [`Lab::serve_traced`]
+    /// but with a live health [`Monitor`](vsmooth_monitor::Monitor)
+    /// attached — streaming window aggregation per scheduling epoch,
+    /// CUSUM/burn-rate/threshold SLO rules, and flight-recorder
+    /// postmortems sealed when a rule fires. Returns the service report
+    /// alongside the final
+    /// [`HealthReport`](vsmooth_monitor::HealthReport).
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors.
+    pub fn serve_monitored(
+        &self,
+        seed: u64,
+        jobs: usize,
+        tracer: &vsmooth_trace::Tracer,
+    ) -> Result<(vsmooth_serve::ServiceReport, vsmooth_monitor::HealthReport), VsmoothError> {
+        use vsmooth_sched::OnlineDroop;
+        use vsmooth_serve::{synthetic_jobs, Service, ServiceConfig};
+
+        let slice = (self.cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+        let mut cfg = ServiceConfig::new(self.chip(DecapConfig::proc100()));
+        cfg.slice_cycles = slice;
+        let service = Service::new(cfg)?;
+        let stream = synthetic_jobs(seed, jobs, slice);
+        service
+            .run_monitored(
+                &stream,
+                &OnlineDroop,
+                self.cfg.threads,
+                tracer,
+                vsmooth_monitor::MonitorConfig::default(),
+            )
+            .map_err(VsmoothError::from)
+    }
 }
 
 /// Fig. 4 data: two analytic impedance profiles plus the empirical

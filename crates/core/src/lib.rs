@@ -19,6 +19,9 @@
 //! * [`profile`] — droop root-cause attribution: triggered waveform
 //!   windows scored into per-workload noise profiles, with a
 //!   resonance-period estimate cross-checked against the analytic PDN.
+//! * [`monitor`] — live health monitoring: streaming window
+//!   aggregators, EWMA+CUSUM anomaly detection, SLO/alert rules with
+//!   burn-rate budgets, and flight-recorder postmortems.
 //! * [`resilience`] — the typical-case design performance model and the
 //!   881-run measurement campaign.
 //! * [`sched`] — the noise-aware thread scheduler: Droop / IPC /
@@ -55,6 +58,9 @@ pub mod report;
 
 /// The multi-core chip model.
 pub use vsmooth_chip as chip;
+/// Live health monitoring: windowed signals, anomaly detection,
+/// SLO/alert rules, flight-recorder postmortems.
+pub use vsmooth_monitor as monitor;
 /// The power-delivery-network substrate.
 pub use vsmooth_pdn as pdn;
 /// Droop root-cause attribution over triggered waveform windows.

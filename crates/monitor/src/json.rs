@@ -1,0 +1,44 @@
+//! Deterministic JSON emission helpers shared by the postmortem and
+//! health exporters. Floats are fixed at four decimal places and keys
+//! are emitted in a fixed order, so equal reports serialize to equal
+//! bytes regardless of worker count or platform.
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float rendered with the report-wide fixed precision.
+pub(crate) fn json_f64(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{01}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn floats_are_fixed_precision() {
+        assert_eq!(json_f64(1.0), "1.0000");
+        assert_eq!(json_f64(-0.12345), "-0.1235");
+    }
+}

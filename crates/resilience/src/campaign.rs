@@ -19,9 +19,10 @@ use vsmooth_chip::{
     run_workload_profiled, ChipConfig, DroopCrossing, DroopWindow, Fidelity, RunStats,
     WindowConfig, PHASE_MARGIN_PCT,
 };
+use vsmooth_monitor::{EpochSample, HealthReport, Monitor, MonitorConfig, SliceRecord};
 use vsmooth_profile::{emit_window_span, ProfileConfig, ProfileReport, Profiler};
 use vsmooth_stats::MetricsRegistry;
-use vsmooth_trace::{ArgValue, DroopEvent, Tracer, PID_CAMPAIGN};
+use vsmooth_trace::{ArgValue, DroopEvent, Tracer, PID_CAMPAIGN, PID_MONITOR};
 use vsmooth_workload::{parsec, spec2006, Workload};
 
 /// Identifies one campaign run.
@@ -149,7 +150,7 @@ impl CampaignSpec {
     ///
     /// Returns the first simulation error encountered.
     pub fn run(self, threads: usize) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, None, &Tracer::disabled(), None)
+        self.run_instrumented(threads, None, &Tracer::disabled(), None, None)
     }
 
     /// Like [`CampaignSpec::run`], but records operational telemetry
@@ -166,7 +167,7 @@ impl CampaignSpec {
         threads: usize,
         metrics: &MetricsRegistry,
     ) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, Some(metrics), &Tracer::disabled(), None)
+        self.run_instrumented(threads, Some(metrics), &Tracer::disabled(), None, None)
     }
 
     /// Like [`CampaignSpec::run_with_metrics`], but additionally
@@ -188,7 +189,7 @@ impl CampaignSpec {
         metrics: Option<&MetricsRegistry>,
         tracer: &Tracer,
     ) -> Result<CampaignResult, CampaignError> {
-        self.run_instrumented(threads, metrics, tracer, None)
+        self.run_instrumented(threads, metrics, tracer, None, None)
     }
 
     /// Like [`CampaignSpec::run_traced`], but additionally profiles
@@ -213,10 +214,68 @@ impl CampaignSpec {
     ) -> Result<(CampaignResult, ProfileReport), CampaignError> {
         let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
         let mut profiler = Profiler::new(margin, cfg);
-        let result = self.run_instrumented(threads, metrics, tracer, Some(&mut profiler))?;
+        let result = self.run_instrumented(threads, metrics, tracer, Some(&mut profiler), None)?;
         let report = profiler.report();
         if let Some(m) = metrics {
             report.export_metrics(m);
+        }
+        Ok((result, report))
+    }
+
+    /// Like [`CampaignSpec::run_traced`], but feeds every run through a
+    /// live health [`Monitor`]: each completed run becomes one
+    /// monitoring epoch on a cumulative virtual clock (its margin
+    /// crossings become [`DroopEvent`] evidence, the run itself a
+    /// [`SliceRecord`]), SLO rules are evaluated after every epoch, and
+    /// firing rules seal flight-recorder postmortems. All feeding
+    /// happens on the coordinator in specification order, so the alert
+    /// sequence and postmortem bytes are identical for every thread
+    /// count. When `metrics` is given the final [`HealthReport`]
+    /// exports its `alerts_total` counters and windowed gauges into it;
+    /// when `tracer` is enabled, alert fire/resolve instants land on
+    /// the [`PID_MONITOR`] timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error encountered.
+    pub fn run_monitored(
+        self,
+        threads: usize,
+        metrics: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+        cfg: MonitorConfig,
+    ) -> Result<(CampaignResult, HealthReport), CampaignError> {
+        let mut monitor = Monitor::new(cfg);
+        let result = self.run_instrumented(threads, metrics, tracer, None, Some(&mut monitor))?;
+        let report = monitor.report();
+        if let Some(m) = metrics {
+            report.export_metrics(m);
+        }
+        if tracer.is_enabled() {
+            tracer.process_name(PID_MONITOR, "monitor");
+            for alert in &report.alerts {
+                tracer.instant(
+                    alert.rule.clone(),
+                    "alert",
+                    PID_MONITOR,
+                    0,
+                    alert.fired_at_cycle,
+                    vec![
+                        ("severity", ArgValue::from(alert.severity.label())),
+                        ("droops", ArgValue::from(alert.window.droops)),
+                    ],
+                );
+                if let Some(resolved) = alert.resolved_at_cycle {
+                    tracer.instant(
+                        alert.rule.clone(),
+                        "alert-resolved",
+                        PID_MONITOR,
+                        0,
+                        resolved,
+                        vec![("severity", ArgValue::from(alert.severity.label()))],
+                    );
+                }
+            }
         }
         Ok((result, report))
     }
@@ -227,6 +286,7 @@ impl CampaignSpec {
         metrics: Option<&MetricsRegistry>,
         tracer: &Tracer,
         profiler: Option<&mut Profiler>,
+        monitor: Option<&mut Monitor>,
     ) -> Result<CampaignResult, CampaignError> {
         if self.specs.is_empty() {
             return Err(CampaignError::EmptySpec);
@@ -246,7 +306,7 @@ impl CampaignSpec {
         let wcfg: Option<WindowConfig> = profiler.as_ref().map(|p| p.config().window);
         // Capture at the grid-quantized margin so per-event logs agree
         // exactly with `RunStats::emergencies(PHASE_MARGIN_PCT)`.
-        let margin = (tracer.wants_droop_events() || wcfg.is_some())
+        let margin = (tracer.wants_droop_events() || wcfg.is_some() || monitor.is_some())
             .then(|| CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT));
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -352,6 +412,48 @@ impl CampaignSpec {
                         phase: "campaign".to_string(),
                     });
                 }
+            }
+        }
+        if let Some(mon) = monitor {
+            // Coordinator-side feeding in specification order on a
+            // cumulative virtual clock (runs laid end to end): the
+            // health artifacts are thread-count-independent. Each run
+            // is one monitoring epoch.
+            let mut offset = 0u64;
+            for (idx, (run, crossings)) in runs.iter().zip(&crossings_by_run).enumerate() {
+                let workloads = match &run.id {
+                    RunId::Single(n) | RunId::Multi(n) => vec![n.clone()],
+                    RunId::Pair(a, b) => vec![a.clone(), b.clone()],
+                };
+                for crossing in crossings {
+                    mon.on_droop(DroopEvent {
+                        chip: idx,
+                        core: 0,
+                        cycle: offset + crossing.cycle,
+                        depth_pct: crossing.depth_pct,
+                        workloads: workloads.clone(),
+                        phase: "campaign".to_string(),
+                    });
+                }
+                let droops = run.stats.emergencies(PHASE_MARGIN_PCT);
+                mon.on_slice(SliceRecord {
+                    start_cycle: offset,
+                    chip: idx,
+                    label: run.id.to_string(),
+                    cycles: run.stats.cycles,
+                    droops,
+                    max_droop_pct: run.stats.max_droop_pct(),
+                });
+                mon.on_epoch(EpochSample {
+                    end_cycle: offset + run.stats.cycles,
+                    cycles: run.stats.cycles,
+                    droops,
+                    min_margin_pct: PHASE_MARGIN_PCT - run.stats.max_droop_pct(),
+                    mean_margin_pct: PHASE_MARGIN_PCT + run.stats.sensor.summary().mean(),
+                    queue_depth: 0,
+                    running_jobs: workloads.len(),
+                });
+                offset += run.stats.cycles;
             }
         }
         if let Some(p) = profiler {
@@ -578,6 +680,59 @@ mod tests {
         let one = profile_at(1);
         assert_eq!(one, profile_at(4));
         assert!(one.contains("vsmooth-profile-v1"));
+    }
+
+    #[test]
+    fn monitored_campaign_health_is_thread_count_independent() {
+        let health_at = |threads: usize| {
+            let (result, health) = CampaignSpec::reduced(chip(), Fidelity::Custom(3_000), 2)
+                .run_monitored(threads, None, &Tracer::disabled(), MonitorConfig::default())
+                .unwrap();
+            // One monitoring epoch per campaign run.
+            assert_eq!(health.epochs, result.runs().len() as u64);
+            health.to_json()
+        };
+        let one = health_at(1);
+        assert_eq!(one, health_at(4));
+        assert!(one.contains("vsmooth-health-v1"));
+    }
+
+    #[test]
+    fn monitored_campaign_fires_rules_and_exports_telemetry() {
+        use vsmooth_monitor::{Severity, Signal, SloRule};
+        let metrics = MetricsRegistry::new();
+        let tracer = Tracer::enabled();
+        // Hair-trigger rule: any windowed droop rate above zero fires.
+        let cfg = MonitorConfig {
+            rules: vec![SloRule {
+                fire_after: 1,
+                ..SloRule::threshold("any_droops", Severity::Info, Signal::DroopRate, true, 0.0)
+            }],
+            ..MonitorConfig::default()
+        };
+        let (result, health) = CampaignSpec::reduced(chip(), Fidelity::Custom(4_000), 2)
+            .run_monitored(2, Some(&metrics), &tracer, cfg)
+            .unwrap();
+        assert_eq!(health.epochs, result.runs().len() as u64);
+        assert!(
+            health.alerts.iter().any(|a| a.rule == "any_droops"),
+            "droopy campaign should trip the hair-trigger rule"
+        );
+        assert_eq!(health.postmortems.len(), health.alerts.len());
+        // Postmortems carry campaign-phase droop evidence.
+        assert!(health.postmortems[0]
+            .droop_events
+            .iter()
+            .all(|e| e.phase == "campaign"));
+        let snap = metrics.snapshot();
+        assert!(
+            snap.counter_labeled(
+                "alerts_total",
+                &[("rule", "any_droops"), ("severity", "info")],
+            ) >= 1
+        );
+        // Alert instants land on the monitor timeline of the trace.
+        assert!(tracer.to_chrome_json().contains("any_droops"));
     }
 
     #[test]

@@ -27,10 +27,13 @@ use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
     Chip, ChipConfig, ChipError, ChipSession, DroopWindow, SliceStats, PHASE_MARGIN_PCT,
 };
+use vsmooth_monitor::{
+    EpochSample, HealthReport, HealthSummary, Monitor, MonitorConfig, SliceRecord,
+};
 use vsmooth_profile::{emit_window_span, ProfileConfig, ProfileReport, Profiler};
 use vsmooth_sched::PairPolicy;
 use vsmooth_stats::{MetricsRegistry, MetricsSnapshot};
-use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS};
+use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS, PID_MONITOR};
 use vsmooth_uarch::{IdleLoop, StimulusSource};
 use vsmooth_workload::{by_name, EventStream};
 
@@ -166,9 +169,18 @@ pub struct ServiceReport {
     pub snapshot: MetricsSnapshot,
     /// Every completed job, in completion order.
     pub completed: Vec<CompletedJob>,
+    /// Health digest when the run was monitored
+    /// ([`Service::run_monitored`]); `None` otherwise, so unmonitored
+    /// reports compare equal across observation modes.
+    pub health: Option<HealthSummary>,
 }
 
 impl ServiceReport {
+    /// The health digest of a monitored run, if any.
+    pub fn health_snapshot(&self) -> Option<&HealthSummary> {
+        self.health.as_ref()
+    }
+
     /// Plain-text summary (the demo's output format).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -199,6 +211,12 @@ impl ServiceReport {
             "telemetry   {} workload profiles warmed\n",
             self.warmed_profiles
         ));
+        if let Some(h) = &self.health {
+            out.push_str(&format!(
+                "health      {} epochs, {} alerts ({} resolved), {} postmortems\n",
+                h.epochs, h.alerts_fired, h.alerts_resolved, h.postmortems
+            ));
+        }
         out.push_str(&self.metrics);
         out
     }
@@ -284,7 +302,7 @@ impl Service {
         workers: usize,
         tracer: &Tracer,
     ) -> Result<ServiceReport, ServeError> {
-        self.run_inner(jobs, policy, workers, tracer, None)
+        self.run_inner(jobs, policy, workers, tracer, None, None)
     }
 
     /// Like [`Service::run_traced`], but additionally profiles every
@@ -311,8 +329,39 @@ impl Service {
     ) -> Result<(ServiceReport, ProfileReport), ServeError> {
         let margin = CrossingGrid::droop_grid().quantized_margin(PHASE_MARGIN_PCT);
         let mut profiler = Profiler::new(margin, cfg);
-        let report = self.run_inner(jobs, policy, workers, tracer, Some(&mut profiler))?;
+        let report = self.run_inner(jobs, policy, workers, tracer, Some(&mut profiler), None)?;
         Ok((report, profiler.report()))
+    }
+
+    /// Like [`Service::run_traced`], but with live health monitoring:
+    /// a [`Monitor`] built from `cfg` watches the run epoch by epoch —
+    /// sliding-window droop rate / voltage margin / throttle-fraction
+    /// signals, CUSUM anomaly detection, SLO burn-rate and threshold
+    /// rules — and a flight recorder seals a `vsmooth-postmortem-v1`
+    /// bundle the moment any rule fires.
+    ///
+    /// All monitor feeding happens on the coordinator in chip-index
+    /// order, so the alert sequence, the [`HealthReport`] JSON, and
+    /// every postmortem bundle are byte-identical for any worker
+    /// count. The returned [`ServiceReport`] carries the compact
+    /// digest in [`ServiceReport::health`], and the registry snapshot
+    /// includes `alerts_total{rule,severity}` plus the `monitor_*`
+    /// windowed gauges.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Service::run`].
+    pub fn run_monitored(
+        &self,
+        jobs: &[JobSpec],
+        policy: &dyn PairPolicy,
+        workers: usize,
+        tracer: &Tracer,
+        cfg: MonitorConfig,
+    ) -> Result<(ServiceReport, HealthReport), ServeError> {
+        let mut monitor = Monitor::new(cfg);
+        let report = self.run_inner(jobs, policy, workers, tracer, None, Some(&mut monitor))?;
+        Ok((report, monitor.report()))
     }
 
     fn run_inner(
@@ -322,6 +371,7 @@ impl Service {
         workers: usize,
         tracer: &Tracer,
         mut profiler: Option<&mut Profiler>,
+        mut monitor: Option<&mut Monitor>,
     ) -> Result<ServiceReport, ServeError> {
         for job in jobs {
             if by_name(&job.workload).is_none() {
@@ -340,6 +390,9 @@ impl Service {
                     tracer.thread_name(chip_pid(c), PROFILE_TID, "profile");
                 }
             }
+            if monitor.is_some() {
+                tracer.process_name(PID_MONITOR, "monitor");
+            }
         }
         // Capture at the grid-quantized margin so per-event logs agree
         // exactly with the aggregate droop counts in `SliceStats`
@@ -354,7 +407,7 @@ impl Service {
             for slot in &mut slots {
                 slot.session.enable_profiling(margin, window);
             }
-        } else if tracer.wants_droop_events() {
+        } else if tracer.wants_droop_events() || monitor.is_some() {
             for slot in &mut slots {
                 slot.session.capture_droops(margin);
             }
@@ -421,8 +474,19 @@ impl Service {
             // Coordinator merge, strictly in chip-index order. Trace
             // records and float observations happen only here, so the
             // emitted stream is worker-count-independent.
+            let mut epoch_cycles = 0u64;
+            let mut epoch_droops = 0u64;
+            let mut epoch_min_margin = PHASE_MARGIN_PCT;
+            let mut epoch_margin_weight = 0.0f64;
             for (&chip_idx, slice) in busy.iter().zip(&slices) {
                 droops += slice.droops;
+                if monitor.is_some() {
+                    epoch_cycles += slice.cycles;
+                    epoch_droops += slice.droops;
+                    epoch_min_margin = epoch_min_margin.min(PHASE_MARGIN_PCT - slice.max_droop_pct);
+                    epoch_margin_weight +=
+                        (PHASE_MARGIN_PCT + slice.mean_dev_pct) * slice.cycles as f64;
+                }
                 let dpk = slice.droops_per_kilocycle();
                 if slice.droops > 0 {
                     metrics.observe("droop_depth_pct", slice.max_droop_pct);
@@ -442,7 +506,7 @@ impl Service {
                         );
                     }
                 }
-                if tracer.wants_droop_events() || profiler.is_some() {
+                if tracer.wants_droop_events() || profiler.is_some() || monitor.is_some() {
                     let workloads: Vec<String> = slot
                         .cores
                         .iter()
@@ -454,17 +518,36 @@ impl Service {
                     // window of the virtual clock.
                     let slice_start = slot.session.measured_cycles() - slice.cycles;
                     let crossings = slot.session.take_droop_crossings();
-                    if tracer.wants_droop_events() {
+                    if tracer.wants_droop_events() || monitor.is_some() {
                         for crossing in &crossings {
-                            tracer.droop(DroopEvent {
+                            let event = DroopEvent {
                                 chip: chip_idx,
                                 core: 0,
                                 cycle: now + (crossing.cycle - slice_start),
                                 depth_pct: crossing.depth_pct,
                                 workloads: workloads.clone(),
                                 phase: format!("epoch{epochs}"),
-                            });
+                            };
+                            match monitor.as_deref_mut() {
+                                Some(m) => {
+                                    if tracer.wants_droop_events() {
+                                        tracer.droop(event.clone());
+                                    }
+                                    m.on_droop(event);
+                                }
+                                None => tracer.droop(event),
+                            }
                         }
+                    }
+                    if let Some(m) = monitor.as_deref_mut() {
+                        m.on_slice(SliceRecord {
+                            start_cycle: now,
+                            chip: chip_idx,
+                            label: workloads.join("+"),
+                            cycles: slice.cycles,
+                            droops: slice.droops,
+                            max_droop_pct: slice.max_droop_pct,
+                        });
                     }
                     if let Some(p) = profiler.as_deref_mut() {
                         segs[chip_idx].push(SliceSeg {
@@ -515,6 +598,24 @@ impl Service {
                     }
                 }
             }
+            if let Some(m) = monitor.as_deref_mut() {
+                // Close the monitoring epoch after the merge, with the
+                // queue state placement left behind — all coordinator
+                // state, so the sample is worker-count-independent.
+                m.on_epoch(EpochSample {
+                    end_cycle: now + self.cfg.slice_cycles,
+                    cycles: epoch_cycles,
+                    droops: epoch_droops,
+                    min_margin_pct: epoch_min_margin,
+                    mean_margin_pct: if epoch_cycles == 0 {
+                        PHASE_MARGIN_PCT
+                    } else {
+                        epoch_margin_weight / epoch_cycles as f64
+                    },
+                    queue_depth: ready.len(),
+                    running_jobs: slots.iter().map(ChipSlot::occupied).sum(),
+                });
+            }
             now += self.cfg.slice_cycles;
             epochs += 1;
         }
@@ -558,6 +659,37 @@ impl Service {
             // in the rendered metrics and the Prometheus exposition.
             p.report().export_metrics(&metrics);
         }
+        let health = monitor.as_deref().map(Monitor::report);
+        if let Some(h) = &health {
+            // alerts_total{rule,severity} and the monitor_* gauges land
+            // in the same snapshot the report embeds.
+            h.export_metrics(&metrics);
+            if tracer.is_enabled() {
+                for alert in &h.alerts {
+                    tracer.instant(
+                        alert.rule.clone(),
+                        "alert",
+                        PID_MONITOR,
+                        0,
+                        alert.fired_at_cycle,
+                        vec![
+                            ("severity", ArgValue::from(alert.severity.label())),
+                            ("droops", ArgValue::from(alert.window.droops)),
+                        ],
+                    );
+                    if let Some(resolved) = alert.resolved_at_cycle {
+                        tracer.instant(
+                            alert.rule.clone(),
+                            "alert-resolved",
+                            PID_MONITOR,
+                            0,
+                            resolved,
+                            vec![("severity", ArgValue::from(alert.severity.label()))],
+                        );
+                    }
+                }
+            }
+        }
 
         let snapshot = metrics.snapshot();
         let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
@@ -592,6 +724,7 @@ impl Service {
             metrics: snapshot.render(),
             snapshot,
             completed,
+            health: health.as_ref().map(HealthReport::summary),
         })
     }
 
@@ -1067,6 +1200,110 @@ mod tests {
         assert_eq!(plain.droops, profiled.droops);
         assert_eq!(plain.virtual_cycles, profiled.virtual_cycles);
         assert_eq!(plain.completed, profiled.completed);
+    }
+
+    #[test]
+    fn monitored_run_does_not_change_the_schedule() {
+        let jobs = synthetic_jobs(7, 8, 1_200);
+        let service = Service::new(small_cfg()).unwrap();
+        let plain = service.run(&jobs, &OnlineDroop, 2).unwrap();
+        let (monitored, health) = service
+            .run_monitored(
+                &jobs,
+                &OnlineDroop,
+                2,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .unwrap();
+        // Monitoring is pure observation: same schedule, same physics.
+        assert_eq!(plain.droops, monitored.droops);
+        assert_eq!(plain.virtual_cycles, monitored.virtual_cycles);
+        assert_eq!(plain.completed, monitored.completed);
+        // One monitoring epoch per scheduling epoch, digest attached.
+        assert_eq!(health.epochs, monitored.epochs);
+        assert_eq!(monitored.health_snapshot(), Some(&health.summary()));
+        assert!(plain.health.is_none());
+        // Monitor gauges landed in the embedded snapshot.
+        assert!(monitored
+            .snapshot
+            .gauge("monitor_droop_rate_per_kilocycle")
+            .is_some());
+        assert_eq!(
+            monitored.snapshot.counter("monitor_epochs_total"),
+            health.epochs
+        );
+        assert!(monitored.render().contains("health"));
+    }
+
+    #[test]
+    fn health_artifacts_are_identical_across_worker_counts() {
+        let jobs = synthetic_jobs(41, 10, 1_000);
+        let run = |workers: usize| {
+            let service = Service::new(small_cfg()).unwrap();
+            let (report, health) = service
+                .run_monitored(
+                    &jobs,
+                    &OnlineDroop,
+                    workers,
+                    &Tracer::disabled(),
+                    MonitorConfig::default(),
+                )
+                .unwrap();
+            (report, health)
+        };
+        let (report_one, health_one) = run(1);
+        let (report_two, health_two) = run(2);
+        let (report_eight, health_eight) = run(8);
+        assert_eq!(report_one, report_two);
+        assert_eq!(report_one, report_eight);
+        // Alert sequences and the full health JSON — postmortem bytes
+        // included — must not depend on the worker count.
+        assert_eq!(health_one.alerts, health_two.alerts);
+        assert_eq!(health_one.to_json(), health_two.to_json());
+        assert_eq!(health_one.to_json(), health_eight.to_json());
+        for (a, b) in health_one.postmortems.iter().zip(&health_eight.postmortems) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn monitored_trace_carries_alert_instants() {
+        // A monitor with a hair-trigger threshold rule must fire on
+        // any droop activity and show up on the monitor timeline.
+        let jobs = synthetic_jobs(17, 8, 1_200);
+        let service = Service::new(small_cfg()).unwrap();
+        let tracer = Tracer::enabled();
+        let cfg = MonitorConfig {
+            rules: vec![vsmooth_monitor::SloRule {
+                fire_after: 1,
+                ..vsmooth_monitor::SloRule::threshold(
+                    "any_droops",
+                    vsmooth_monitor::Severity::Info,
+                    vsmooth_monitor::Signal::DroopRate,
+                    true,
+                    0.0,
+                )
+            }],
+            ..MonitorConfig::default()
+        };
+        let (report, health) = service
+            .run_monitored(&jobs, &OnlineDroop, 2, &tracer, cfg)
+            .unwrap();
+        assert!(report.droops > 0, "scenario needs droop activity");
+        assert!(!health.alerts.is_empty());
+        assert_eq!(
+            report.snapshot.counter_labeled(
+                "alerts_total",
+                &[("rule", "any_droops"), ("severity", "info")]
+            ),
+            1
+        );
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"any_droops\""));
+        // Droop events were captured for the monitor even though the
+        // flight recorder, not the tracer, is their consumer.
+        assert_eq!(tracer.droops_total(), report.droops);
     }
 
     #[test]

@@ -402,7 +402,12 @@ impl MetricsSnapshot {
 
     /// The named unlabeled gauge's value, if set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        let id = SeriesId::plain(name);
+        self.gauge_labeled(name, &[])
+    }
+
+    /// The value of gauge series `name{labels…}`, if set.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let id = SeriesId::new(name, labels);
         self.gauges.iter().find(|(k, _)| *k == id).map(|&(_, v)| v)
     }
 

@@ -14,6 +14,10 @@ pub const PID_JOBS: u32 = 1;
 /// Virtual process id of a measurement-campaign timeline.
 pub const PID_CAMPAIGN: u32 = 2;
 
+/// Virtual process id of the health-monitor timeline (alert
+/// fire/resolve instants and windowed-signal counters).
+pub const PID_MONITOR: u32 = 3;
+
 /// First virtual process id assigned to chips; chip `c` exports as
 /// process [`chip_pid`]`(c)`.
 pub const PID_CHIP_BASE: u32 = 10;
@@ -186,6 +190,7 @@ mod tests {
     fn chip_pids_are_disjoint_from_reserved_pids() {
         assert!(chip_pid(0) > PID_JOBS);
         assert!(chip_pid(0) > PID_CAMPAIGN);
+        assert!(chip_pid(0) > PID_MONITOR);
         assert_eq!(chip_pid(3), PID_CHIP_BASE + 3);
     }
 
