@@ -63,6 +63,26 @@ cargo run -q -p vsmooth-bench --bin serve_bench --release -- BENCH_serve.json
 test -s BENCH_serve.json
 grep -q '"schema": "vsmooth-serve-bench-v1"' BENCH_serve.json
 grep -q '"median_kcycles_per_sec"' BENCH_serve.json
+grep -q '"runs_per_sec_checkpointed"' BENCH_serve.json
+
+echo "== fleet demo (checkpoint/resume + artifact validation) =="
+# The demo runs a seeded 1000-run heterogeneous sweep twice: once
+# uninterrupted and once killed at a checkpoint boundary and resumed
+# from the durable vsmooth-fleet-ckpt-v1 file, asserting the resumed
+# report is byte-identical and the fleet variation non-degenerate
+# (>=3 distinct worst-case margins, >=2 DVFS points). Afterwards check
+# both artifacts' schema and the per-chip margin fields.
+cargo run -q --example fleet_demo --release -- \
+    target/ci_fleet.json target/ci_fleet.ckpt.json
+test -s target/ci_fleet.json
+test -s target/ci_fleet.ckpt.json
+grep -q '"schema": "vsmooth-fleet-v1"' target/ci_fleet.json \
+    || { echo "fleet JSON lacks the vsmooth-fleet-v1 schema tag"; exit 1; }
+grep -q '"schema": "vsmooth-fleet-ckpt-v1"' target/ci_fleet.ckpt.json \
+    || { echo "checkpoint lacks the vsmooth-fleet-ckpt-v1 schema tag"; exit 1; }
+grep -q '"sheddable_margin_pct"' target/ci_fleet.json
+grep -q '"worst_case_margin_pct"' target/ci_fleet.json
+grep -q '"max_droop_bits"' target/ci_fleet.ckpt.json
 
 echo "== profile demo (artifact validation) =="
 # The demo asserts 1/2/8-worker byte-determinism and droop-count

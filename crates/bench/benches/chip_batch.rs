@@ -1,0 +1,30 @@
+//! Measures the chip-construction amortization behind `ChipBatch`:
+//! `Chip::new` pays the ladder discretization (state space, bilinear
+//! transform with matrix inversion, steady-state solve) on every call,
+//! while a batch pays it once and stamps clones. Campaign-scale sweeps
+//! (881 runs, fleet sweeps in the thousands) ride on that difference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vsmooth::chip::{Chip, ChipBatch, ChipConfig};
+use vsmooth::pdn::DecapConfig;
+
+const STAMPS: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ChipConfig::core2_duo(DecapConfig::proc100());
+    let batch = ChipBatch::new(cfg.clone()).expect("valid config");
+
+    c.bench_function("chip_batch_fresh_x16", |b| {
+        b.iter(|| {
+            for _ in 0..STAMPS {
+                black_box(Chip::new(cfg.clone()).expect("valid config"));
+            }
+        })
+    });
+    c.bench_function("chip_batch_stamped_x16", |b| {
+        b.iter(|| black_box(batch.build_n(STAMPS)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,6 +16,9 @@
 //! health monitor to the pass and writes the final `vsmooth-health-v1`
 //! report — windowed signals, SLO alerts, and any sealed
 //! flight-recorder postmortems (see `vsmooth-monitor`).
+//! `--fleet-out <path>` additionally runs a small seeded heterogeneous
+//! fleet sweep and writes the per-chip `vsmooth-fleet-v1` margin report
+//! (see `vsmooth-fleet`).
 
 use vsmooth::report;
 use vsmooth::VsmoothError;
@@ -25,6 +28,7 @@ fn main() -> Result<(), VsmoothError> {
     let mut metrics_out: Option<String> = None;
     let mut profile_out: Option<String> = None;
     let mut monitor_out: Option<String> = None;
+    let mut fleet_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,11 +36,12 @@ fn main() -> Result<(), VsmoothError> {
             "--metrics-out" => metrics_out = args.next(),
             "--profile-out" => profile_out = args.next(),
             "--monitor-out" => monitor_out = args.next(),
+            "--fleet-out" => fleet_out = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: repro [--trace-out <path>] [--metrics-out <path>] \
-                     [--profile-out <path>] [--monitor-out <path>]"
+                     [--profile-out <path>] [--monitor-out <path>] [--fleet-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -111,6 +116,20 @@ fn main() -> Result<(), VsmoothError> {
         "{}",
         report::serve_comparison(&lab.serve_comparison(2010, 120)?)
     );
+
+    if let Some(path) = &fleet_out {
+        // Beyond the paper: the heterogeneous fleet sweep — how much of
+        // the shipped 14 % margin could each part of a varied
+        // population shed?
+        let fleet = lab.fleet_sweep(2010, 6, 8)?;
+        println!("{}", report::fleet(&fleet));
+        std::fs::write(path, fleet.to_json()).expect("write fleet JSON");
+        println!(
+            "wrote fleet margin report ({} chips, {} runs) to {path}",
+            fleet.chips.len(),
+            fleet.total_runs
+        );
+    }
 
     if trace_out.is_some()
         || metrics_out.is_some()

@@ -11,11 +11,14 @@
 //! Shape (`vsmooth-serve-bench-v1`): per worker count the median
 //! wall-clock milliseconds and simulated kilocycles per second over
 //! `ROUNDS` runs of an identical job stream, plus the median overhead
-//! ratio of each armed instrument relative to the plain run.
+//! ratio of each armed instrument relative to the plain run, plus a
+//! fleet-sweep throughput row (runs per second with and without
+//! checkpointing to disk).
 
 use std::time::Instant;
 
 use vsmooth::chip::ChipConfig;
+use vsmooth::fleet::{FleetCampaign, FleetSpec};
 use vsmooth::monitor::MonitorConfig;
 use vsmooth::pdn::DecapConfig;
 use vsmooth::profile::ProfileConfig;
@@ -131,6 +134,46 @@ fn main() {
         ),
     ];
 
+    // Fleet-sweep throughput: runs per wall second for one seeded
+    // heterogeneous sweep, in memory and with per-chunk checkpointing
+    // to disk (the durability tax).
+    let mut fleet_spec = FleetSpec::new(2010, 4, 16);
+    fleet_spec.fidelity = vsmooth::chip::Fidelity::Custom(SLICE);
+    fleet_spec.probe_cycles = 4_000;
+    fleet_spec.checkpoint_every = 16;
+    let fleet_runs = fleet_spec.total_runs();
+    let campaign = FleetCampaign::new(fleet_spec).expect("valid fleet spec");
+    let fleet_rps = |checkpointed: bool| -> f64 {
+        let ckpt_path = std::env::temp_dir().join(format!(
+            "vsmooth-serve-bench-fleet-{}.ckpt.json",
+            std::process::id()
+        ));
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for round in 0..=ROUNDS {
+            let _ = std::fs::remove_file(&ckpt_path);
+            let start = Instant::now();
+            if checkpointed {
+                campaign
+                    .run_checkpointed(2, &ckpt_path, None)
+                    .expect("fleet sweep");
+            } else {
+                campaign.run(2).expect("fleet sweep");
+            }
+            if round > 0 {
+                // Round 0 is the warm-up.
+                samples.push(fleet_runs as f64 / start.elapsed().as_secs_f64().max(1e-9));
+            }
+        }
+        let _ = std::fs::remove_file(&ckpt_path);
+        median(samples)
+    };
+    let fleet_plain_rps = fleet_rps(false);
+    let fleet_ckpt_rps = fleet_rps(true);
+    println!(
+        "fleet_sweep: {fleet_plain_rps:.1} runs/sec plain, \
+         {fleet_ckpt_rps:.1} runs/sec checkpointed"
+    );
+
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"vsmooth-serve-bench-v1\",\n");
     out.push_str(&format!("  \"jobs\": {JOBS},\n"));
@@ -151,6 +194,12 @@ fn main() {
             if i + 1 < ratios.len() { "," } else { "" }
         ));
     }
+    out.push_str("  },\n  \"fleet\": {\n");
+    out.push_str(&format!("    \"runs\": {fleet_runs},\n"));
+    out.push_str(&format!("    \"runs_per_sec\": {fleet_plain_rps:.1},\n"));
+    out.push_str(&format!(
+        "    \"runs_per_sec_checkpointed\": {fleet_ckpt_rps:.1}\n"
+    ));
     out.push_str("  }\n}\n");
     std::fs::write(&path, out).expect("write bench JSON");
     println!("wrote {path}");

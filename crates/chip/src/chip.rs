@@ -128,7 +128,7 @@ impl ChipConfig {
 /// assert!(stats.peak_to_peak_pct() < 1.0);
 /// # Ok::<(), vsmooth_chip::ChipError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Chip {
     cfg: ChipConfig,
     cores: Vec<Core>,

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chip;
 pub mod fidelity;
 pub mod invariant;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod topology;
 pub mod window;
 
+pub use crate::batch::ChipBatch;
 pub use crate::chip::{Chip, ChipConfig};
 pub use fidelity::Fidelity;
 pub use invariant::{InvariantConfig, InvariantKind, InvariantReport, InvariantViolation};
@@ -48,7 +50,7 @@ pub use probe::{
 pub use resilient::ResilientRunStats;
 pub use runner::{
     run_pair, run_pair_logged, run_pair_profiled, run_workload, run_workload_logged,
-    run_workload_profiled, workload_pair_intervals,
+    run_workload_profiled, workload_pair_intervals, ChipSource,
 };
 pub use session::{ChipSession, DroopCrossing, SliceStats};
 pub use stats::{RunStats, PHASE_MARGIN_PCT};

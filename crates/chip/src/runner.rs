@@ -1,6 +1,7 @@
 //! Workload runners: the building blocks for single-threaded,
 //! multi-threaded and multi-program (pair) measurements.
 
+use crate::batch::ChipBatch;
 use crate::chip::{Chip, ChipConfig};
 use crate::fidelity::Fidelity;
 use crate::session::DroopCrossing;
@@ -9,6 +10,53 @@ use crate::window::{DroopWindow, WindowConfig};
 use crate::ChipError;
 use vsmooth_uarch::{IdleLoop, StimulusSource};
 use vsmooth_workload::{Threading, Workload};
+
+/// Anything a runner can obtain fresh chips from: a plain
+/// [`ChipConfig`] (full setup per run) or a [`ChipBatch`] (one-time
+/// setup amortized across runs). Campaign-scale sweeps should pass a
+/// batch; one-off measurements a config. Both produce byte-identical
+/// runs.
+pub trait ChipSource {
+    /// The configuration every built chip will carry.
+    fn chip_config(&self) -> &ChipConfig;
+
+    /// Builds one fresh chip at the settled idle operating point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Chip::new`].
+    fn build_chip(&self) -> Result<Chip, ChipError>;
+}
+
+impl ChipSource for ChipConfig {
+    fn chip_config(&self) -> &ChipConfig {
+        self
+    }
+
+    fn build_chip(&self) -> Result<Chip, ChipError> {
+        Chip::new(self.clone())
+    }
+}
+
+impl ChipSource for ChipBatch {
+    fn chip_config(&self) -> &ChipConfig {
+        self.config()
+    }
+
+    fn build_chip(&self) -> Result<Chip, ChipError> {
+        Ok(self.build())
+    }
+}
+
+impl<T: ChipSource + ?Sized> ChipSource for &T {
+    fn chip_config(&self) -> &ChipConfig {
+        (**self).chip_config()
+    }
+
+    fn build_chip(&self) -> Result<Chip, ChipError> {
+        (**self).build_chip()
+    }
+}
 
 /// How much per-event instrumentation a runner-level measurement
 /// carries along.
@@ -31,7 +79,7 @@ enum Instrument {
 ///
 /// Propagates chip construction/run errors.
 pub fn run_workload(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     workload: &Workload,
     fidelity: Fidelity,
 ) -> Result<RunStats, ChipError> {
@@ -45,7 +93,7 @@ pub fn run_workload(
 ///
 /// Same conditions as [`run_workload`].
 pub fn run_workload_logged(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     workload: &Workload,
     fidelity: Fidelity,
     margin_pct: f64,
@@ -62,7 +110,7 @@ pub fn run_workload_logged(
 ///
 /// Same conditions as [`run_workload`].
 pub fn run_workload_profiled(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     workload: &Workload,
     fidelity: Fidelity,
     margin_pct: f64,
@@ -77,7 +125,7 @@ pub fn run_workload_profiled(
 }
 
 fn run_workload_inner(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     workload: &Workload,
     fidelity: Fidelity,
     instrument: Instrument,
@@ -85,19 +133,19 @@ fn run_workload_inner(
     fidelity.validate()?;
     let cpi = fidelity.cycles_per_interval();
     let total = u64::from(workload.total_intervals()) * cpi;
-    let mut chip = Chip::new(cfg.clone())?;
+    let num_cores = cfg.chip_config().num_cores;
+    let mut chip = cfg.build_chip()?;
     match workload.threading() {
         Threading::Single => {
             let mut stream = workload.stream(0, cpi);
-            let mut idles: Vec<IdleLoop> =
-                (1..cfg.num_cores).map(|_| IdleLoop::default()).collect();
-            let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(cfg.num_cores);
+            let mut idles: Vec<IdleLoop> = (1..num_cores).map(|_| IdleLoop::default()).collect();
+            let mut sources: Vec<&mut dyn StimulusSource> = Vec::with_capacity(num_cores);
             sources.push(&mut stream);
             sources.extend(idles.iter_mut().map(|i| i as &mut dyn StimulusSource));
             run_instrumented(&mut chip, &mut sources, total, cpi, instrument)
         }
         Threading::Multi => {
-            let mut streams: Vec<_> = (0..cfg.num_cores as u64)
+            let mut streams: Vec<_> = (0..num_cores as u64)
                 .map(|i| workload.stream(i, cpi))
                 .collect();
             let mut sources: Vec<&mut dyn StimulusSource> = streams
@@ -139,7 +187,7 @@ fn run_instrumented(
 /// Returns [`ChipError::InvalidConfig`] unless the chip has exactly two
 /// cores, plus any chip run error.
 pub fn run_pair(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     a: &Workload,
     b: &Workload,
     fidelity: Fidelity,
@@ -154,7 +202,7 @@ pub fn run_pair(
 ///
 /// Same conditions as [`run_pair`].
 pub fn run_pair_logged(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     a: &Workload,
     b: &Workload,
     fidelity: Fidelity,
@@ -171,7 +219,7 @@ pub fn run_pair_logged(
 ///
 /// Same conditions as [`run_pair`].
 pub fn run_pair_profiled(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     a: &Workload,
     b: &Workload,
     fidelity: Fidelity,
@@ -188,13 +236,13 @@ pub fn run_pair_profiled(
 }
 
 fn run_pair_inner(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     a: &Workload,
     b: &Workload,
     fidelity: Fidelity,
     instrument: Instrument,
 ) -> Result<(RunStats, Vec<DroopCrossing>, Vec<DroopWindow>), ChipError> {
-    if cfg.num_cores != 2 {
+    if cfg.chip_config().num_cores != 2 {
         return Err(ChipError::InvalidConfig(
             "pair runs require a two-core chip",
         ));
@@ -203,7 +251,7 @@ fn run_pair_inner(
     let cpi = fidelity.cycles_per_interval();
     let intervals = workload_pair_intervals(a, b);
     let total = u64::from(intervals) * cpi;
-    let mut chip = Chip::new(cfg.clone())?;
+    let mut chip = cfg.build_chip()?;
     // Distinct instances so two copies of the same program do not
     // phase-lock (the paper's SPECrate runs are separate processes).
     let mut sa = a.stream(0, cpi);
@@ -332,6 +380,22 @@ mod tests {
         for (win, crossing) in windows.iter().zip(&crossings) {
             assert_eq!(win.trigger_cycle, crossing.cycle);
         }
+    }
+
+    #[test]
+    fn batched_source_matches_config_source() {
+        let batch = ChipBatch::new(cfg()).unwrap();
+        let w = by_name("482.sphinx3").unwrap();
+        let f = Fidelity::Custom(1_500);
+        assert_eq!(
+            run_workload(&cfg(), &w, f).unwrap(),
+            run_workload(&batch, &w, f).unwrap()
+        );
+        let b = by_name("429.mcf").unwrap();
+        assert_eq!(
+            run_pair_logged(&cfg(), &w, &b, f, 2.5).unwrap(),
+            run_pair_logged(&batch, &w, &b, f, 2.5).unwrap()
+        );
     }
 
     #[test]

@@ -618,6 +618,26 @@ impl Lab {
             )
             .map_err(VsmoothError::from)
     }
+
+    /// A seeded heterogeneous fleet sweep (see [`crate::fleet`]): the
+    /// default variation axes (three nodes, three decap banks, two DVFS
+    /// points) at the lab's fidelity, fanned out over the lab's
+    /// threads. Returns the per-chip margin report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet simulation errors.
+    pub fn fleet_sweep(
+        &self,
+        seed: u64,
+        chips: usize,
+        runs_per_chip: usize,
+    ) -> Result<vsmooth_fleet::FleetReport, VsmoothError> {
+        let mut spec = vsmooth_fleet::FleetSpec::new(seed, chips, runs_per_chip);
+        spec.fidelity = self.cfg.fidelity;
+        let campaign = vsmooth_fleet::FleetCampaign::new(spec)?;
+        campaign.run(self.cfg.threads).map_err(VsmoothError::from)
+    }
 }
 
 /// Fig. 4 data: two analytic impedance profiles plus the empirical

@@ -24,6 +24,8 @@
 //!   burn-rate budgets, and flight-recorder postmortems.
 //! * [`resilience`] — the typical-case design performance model and the
 //!   881-run measurement campaign.
+//! * [`fleet`] — heterogeneous fleet campaigns: per-chip silicon/DVFS
+//!   variation, checkpoint/resume sweeps, per-chip margin reports.
 //! * [`sched`] — the noise-aware thread scheduler: Droop / IPC /
 //!   IPC-over-Droopⁿ policies, batch scheduling, sliding windows,
 //!   pass-rate analysis, and a counter-driven online scheduler.
@@ -58,6 +60,9 @@ pub mod report;
 
 /// The multi-core chip model.
 pub use vsmooth_chip as chip;
+/// Heterogeneous fleet campaigns: per-chip silicon/DVFS variation,
+/// checkpoint/resume sweeps, per-chip margin reports.
+pub use vsmooth_fleet as fleet;
 /// Live health monitoring: windowed signals, anomaly detection,
 /// SLO/alert rules, flight-recorder postmortems.
 pub use vsmooth_monitor as monitor;
@@ -97,6 +102,8 @@ pub enum VsmoothError {
     Chip(vsmooth_chip::ChipError),
     /// Campaign execution failed.
     Campaign(vsmooth_resilience::CampaignError),
+    /// Fleet sweep execution or persistence failed.
+    Fleet(vsmooth_fleet::FleetError),
     /// Scheduling experiment failed.
     Sched(vsmooth_sched::SchedError),
     /// The scheduling service failed.
@@ -109,6 +116,7 @@ impl fmt::Display for VsmoothError {
             Self::Pdn(e) => write!(f, "pdn: {e}"),
             Self::Chip(e) => write!(f, "chip: {e}"),
             Self::Campaign(e) => write!(f, "campaign: {e}"),
+            Self::Fleet(e) => write!(f, "fleet: {e}"),
             Self::Sched(e) => write!(f, "sched: {e}"),
             Self::Serve(e) => write!(f, "serve: {e}"),
         }
@@ -121,6 +129,7 @@ impl Error for VsmoothError {
             Self::Pdn(e) => Some(e),
             Self::Chip(e) => Some(e),
             Self::Campaign(e) => Some(e),
+            Self::Fleet(e) => Some(e),
             Self::Sched(e) => Some(e),
             Self::Serve(e) => Some(e),
         }
@@ -142,6 +151,12 @@ impl From<vsmooth_chip::ChipError> for VsmoothError {
 impl From<vsmooth_resilience::CampaignError> for VsmoothError {
     fn from(e: vsmooth_resilience::CampaignError) -> Self {
         Self::Campaign(e)
+    }
+}
+
+impl From<vsmooth_fleet::FleetError> for VsmoothError {
+    fn from(e: vsmooth_fleet::FleetError) -> Self {
+        Self::Fleet(e)
     }
 }
 

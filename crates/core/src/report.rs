@@ -399,6 +399,12 @@ pub fn serve_comparison(reports: &[vsmooth_serve::ServiceReport]) -> String {
     )
 }
 
+/// The heterogeneous fleet sweep's per-chip margin table (delegates to
+/// [`vsmooth_fleet::FleetReport::render`]).
+pub fn fleet(report: &vsmooth_fleet::FleetReport) -> String {
+    report.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -209,6 +209,28 @@ impl LadderConfig {
         }
     }
 
+    /// Re-targets the ladder to a new nominal supply voltage — the PDN
+    /// half of a DVFS operating point. The passives are unchanged (the
+    /// package does not know about P-states); only the drive voltage
+    /// the VRM regulates toward moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidElement`] for a non-positive or
+    /// non-finite voltage.
+    pub fn with_nominal_voltage(&self, volts: f64) -> Result<Self, PdnError> {
+        if !volts.is_finite() || volts <= 0.0 {
+            return Err(PdnError::InvalidElement {
+                element: "nominal_voltage",
+                value: volts,
+            });
+        }
+        let mut cfg = self.clone();
+        cfg.nominal_voltage = volts;
+        cfg.name = format!("{}@{volts:.3}V", self.name);
+        Ok(cfg)
+    }
+
     /// Human-readable configuration name.
     pub fn name(&self) -> &str {
         &self.name
@@ -363,6 +385,17 @@ mod tests {
             LadderConfig::new("empty", vec![], 1.0),
             Err(PdnError::EmptyLadder)
         ));
+    }
+
+    #[test]
+    fn retargeted_nominal_voltage_moves_drive_only() {
+        let base = LadderConfig::core2_duo(DecapConfig::proc100());
+        let low = base.with_nominal_voltage(1.10).unwrap();
+        assert!((low.nominal_voltage() - 1.10).abs() < 1e-12);
+        assert_eq!(low.stages(), base.stages());
+        assert!(low.name().contains("1.100V"));
+        assert!(base.with_nominal_voltage(0.0).is_err());
+        assert!(base.with_nominal_voltage(f64::NAN).is_err());
     }
 
     #[test]

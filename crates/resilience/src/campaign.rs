@@ -16,7 +16,7 @@ use std::sync::Mutex;
 use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
     run_pair, run_pair_logged, run_pair_profiled, run_workload, run_workload_logged,
-    run_workload_profiled, ChipConfig, DroopCrossing, DroopWindow, Fidelity, RunStats,
+    run_workload_profiled, ChipBatch, ChipConfig, DroopCrossing, DroopWindow, Fidelity, RunStats,
     WindowConfig, PHASE_MARGIN_PCT,
 };
 use vsmooth_monitor::{EpochSample, HealthReport, Monitor, MonitorConfig, SliceRecord};
@@ -298,7 +298,12 @@ impl CampaignSpec {
         type Slot =
             Option<Result<(CampaignRun, Vec<DroopCrossing>, Vec<DroopWindow>), CampaignError>>;
         let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
-        let chip = &self.chip;
+        // One-time ladder/uarch setup shared by every run: workers stamp
+        // chips from the batch instead of re-discretizing the PDN per run.
+        let chip = &ChipBatch::new(self.chip.clone()).map_err(|e| CampaignError::Run {
+            id: "chip batch setup".to_string(),
+            source: e,
+        })?;
         let fidelity = self.fidelity;
         // Profiling workers capture triggered windows alongside the
         // crossing log (the `WindowConfig` is `Copy`, so it crosses

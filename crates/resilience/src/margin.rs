@@ -7,7 +7,7 @@
 //! deepest droop the package can produce — the margin must cover it.
 
 use serde::{Deserialize, Serialize};
-use vsmooth_chip::{Chip, ChipConfig, ChipError};
+use vsmooth_chip::{ChipError, ChipSource};
 use vsmooth_uarch::{SquareWave, StimulusSource};
 
 /// Result of the worst-case margin search.
@@ -35,13 +35,13 @@ const VIRUS_PERIODS: [u32; 6] = [8, 16, 32, 64, 104, 416];
 ///
 /// Propagates chip construction/run errors.
 pub fn measure_worst_case_margin(
-    cfg: &ChipConfig,
+    cfg: &impl ChipSource,
     cycles: u64,
 ) -> Result<WorstCaseMargin, ChipError> {
     let mut deepest: f64 = 0.0;
     for period in VIRUS_PERIODS {
-        let mut chip = Chip::new(cfg.clone())?;
-        let mut viruses: Vec<SquareWave> = (0..cfg.num_cores)
+        let mut chip = cfg.build_chip()?;
+        let mut viruses: Vec<SquareWave> = (0..cfg.chip_config().num_cores)
             .map(|_| SquareWave::power_virus_with_period(period))
             .collect();
         let mut sources: Vec<&mut dyn StimulusSource> = viruses
@@ -62,6 +62,7 @@ pub fn measure_worst_case_margin(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vsmooth_chip::ChipConfig;
     use vsmooth_pdn::DecapConfig;
 
     #[test]
