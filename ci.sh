@@ -56,6 +56,27 @@ grep -q 'alerts_total{rule="recovery_budget_burn",severity="critical"}' \
     target/ci_monitor_demo.out
 grep -q 'monitor_droop_rate_per_kilocycle' target/ci_monitor_demo.out
 
+echo "== streaming soak (capped-memory telemetry gate) =="
+# The demo pushes >=10x Full-mode record volume through a 512-slot
+# ring, asserting internally that peak occupancy stays under capacity
+# and not one record is dropped at the default (sampling-off) rate.
+# Afterwards hold it to the printed accounting: a zero-drop soak line,
+# explicit zero ring_full drops in the Prometheus self-metrics, and a
+# well-formed incremental trace on disk.
+cargo run -q --example stream_demo --release -- target/ci_stream.json \
+    | tee target/ci_stream_demo.out
+test -s target/ci_stream.json
+grep -q '^{"traceEvents":\[' target/ci_stream.json \
+    || { echo "streamed trace lacks a traceEvents array"; exit 1; }
+grep -Eq 'soak: .* peak ring [0-9]+/512, drops 0' target/ci_stream_demo.out \
+    || { echo "soak accounting line missing or non-zero drops"; exit 1; }
+grep -q 'telemetry_records_dropped_total{reason="ring_full"} 0' \
+    target/ci_stream_demo.out
+grep -q 'telemetry_records_dropped_total{reason="sink_error"} 0' \
+    target/ci_stream_demo.out
+grep -q 'telemetry_bytes_flushed_total' target/ci_stream_demo.out
+grep -q 'telemetry_ring_peak_occupancy' target/ci_stream_demo.out
+
 echo "== serve bench (quick, machine-readable) =="
 # Median wall time and simulated kcycles/sec per worker count plus
 # armed-instrument overhead ratios, written for the perf trajectory.
@@ -64,6 +85,10 @@ test -s BENCH_serve.json
 grep -q '"schema": "vsmooth-serve-bench-v1"' BENCH_serve.json
 grep -q '"median_kcycles_per_sec"' BENCH_serve.json
 grep -q '"runs_per_sec_checkpointed"' BENCH_serve.json
+grep -q '"streaming":' BENCH_serve.json
+grep -q '"full_mode_peak_records":' BENCH_serve.json
+grep -q '"streaming_peak_ring_occupancy":' BENCH_serve.json
+grep -q '"streaming_dropped_total": 0' BENCH_serve.json
 
 echo "== fleet demo (checkpoint/resume + artifact validation) =="
 # The demo runs a seeded 1000-run heterogeneous sweep twice: once

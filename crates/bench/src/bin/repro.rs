@@ -18,7 +18,11 @@
 //! flight-recorder postmortems (see `vsmooth-monitor`).
 //! `--fleet-out <path>` additionally runs a small seeded heterogeneous
 //! fleet sweep and writes the per-chip `vsmooth-fleet-v1` margin report
-//! (see `vsmooth-fleet`).
+//! (see `vsmooth-fleet`). `--stream-trace <path>` runs the same traced
+//! pass through the bounded-memory streaming pipeline instead of the
+//! in-memory buffer, writing the Chrome trace incrementally and
+//! printing the pipeline's own telemetry (ring occupancy, bytes
+//! flushed, typed drops).
 
 use vsmooth::report;
 use vsmooth::VsmoothError;
@@ -29,6 +33,7 @@ fn main() -> Result<(), VsmoothError> {
     let mut profile_out: Option<String> = None;
     let mut monitor_out: Option<String> = None;
     let mut fleet_out: Option<String> = None;
+    let mut stream_trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,11 +42,13 @@ fn main() -> Result<(), VsmoothError> {
             "--profile-out" => profile_out = args.next(),
             "--monitor-out" => monitor_out = args.next(),
             "--fleet-out" => fleet_out = args.next(),
+            "--stream-trace" => stream_trace = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: repro [--trace-out <path>] [--metrics-out <path>] \
-                     [--profile-out <path>] [--monitor-out <path>] [--fleet-out <path>]"
+                     [--profile-out <path>] [--monitor-out <path>] [--fleet-out <path>] \
+                     [--stream-trace <path>]"
                 );
                 std::process::exit(2);
             }
@@ -187,6 +194,40 @@ fn main() -> Result<(), VsmoothError> {
                 health.postmortems.len()
             );
         }
+    }
+
+    if let Some(path) = &stream_trace {
+        // Same traced pass, but through the bounded-memory pipeline:
+        // records flow job-stream-order into a fixed ring and out to
+        // the file in chunks, so peak telemetry memory is the ring —
+        // not the whole trace.
+        let file = std::fs::File::create(path).expect("create stream trace file");
+        let tracer = vsmooth::trace::Tracer::streaming_to_writer(
+            std::io::BufWriter::new(file),
+            vsmooth::trace::StreamConfig::default(),
+        );
+        lab.serve_traced(2010, 120, &tracer)?;
+        let stats = tracer
+            .finish_stream()
+            .expect("streaming tracer")
+            .expect("flush stream trace");
+        let written = std::fs::read_to_string(path).expect("read back stream trace");
+        let shape =
+            vsmooth::trace::validate_chrome_trace(&written).expect("streamed trace is valid");
+        println!(
+            "streamed Chrome trace to {path}: {} records in, {} written, \
+             {} dropped, peak ring {}/{}, {} bytes in {} flushes \
+             ({} spans, {} droop events validated)",
+            stats.records_seen,
+            stats.records_written,
+            stats.dropped_total(),
+            stats.peak_ring_occupancy,
+            stats.ring_capacity,
+            stats.sink.bytes_flushed,
+            stats.sink.flushes,
+            shape.spans,
+            shape.droops
+        );
     }
 
     Ok(())

@@ -10,8 +10,10 @@
 //!
 //! Shape (`vsmooth-serve-bench-v1`): per worker count the median
 //! wall-clock milliseconds and simulated kilocycles per second over
-//! `ROUNDS` runs of an identical job stream, plus the median overhead
-//! ratio of each armed instrument relative to the plain run, plus a
+//! `ROUNDS` runs of an identical job stream, plus the median per-pair
+//! overhead ratio of each armed instrument over interleaved plain runs
+//! (including the bounded-memory streaming trace pipeline), a telemetry-memory
+//! comparison of Full-mode buffering vs the streaming ring, plus a
 //! fleet-sweep throughput row (runs per second with and without
 //! checkpointing to disk).
 
@@ -24,7 +26,7 @@ use vsmooth::pdn::DecapConfig;
 use vsmooth::profile::ProfileConfig;
 use vsmooth::sched::OnlineDroop;
 use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig};
-use vsmooth::trace::Tracer;
+use vsmooth::trace::{StreamConfig, Tracer};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const ROUNDS: usize = 5;
@@ -74,65 +76,97 @@ fn main() {
         rows.push((workers, median(wall_ms), median(kcps)));
     }
 
-    // Armed-instrument overhead at one worker, as a ratio over the
-    // plain run (same stream, same schedule).
-    let time_run = |run: &dyn Fn()| -> f64 {
+    // Armed-instrument overhead at one worker: interleaved pairs of
+    // (plain, armed) runs of the same stream, median of per-pair
+    // ratios, so slow timing drift of the host cancels out instead of
+    // skewing whichever side happened to run later.
+    let overhead = |name: &str, run: &dyn Fn()| -> (String, f64) {
         run(); // warm up
-        let mut samples = Vec::with_capacity(ROUNDS);
+        let mut pair_ratios = Vec::with_capacity(ROUNDS);
         for _ in 0..ROUNDS {
             let start = Instant::now();
+            service.run(&jobs, &OnlineDroop, 1).expect("service run");
+            let plain = start.elapsed().as_secs_f64().max(1e-9);
+            let start = Instant::now();
             run();
-            samples.push(start.elapsed().as_secs_f64());
+            pair_ratios.push(start.elapsed().as_secs_f64() / plain);
         }
-        median(samples)
-    };
-    let plain = time_run(&|| {
-        service.run(&jobs, &OnlineDroop, 1).expect("service run");
-    });
-    let overhead = |name: &str, secs: f64| -> (String, f64) {
-        let ratio = secs / plain.max(1e-9);
+        let ratio = median(pair_ratios);
         println!("{name} overhead: {ratio:.2}x");
         (name.to_string(), ratio)
     };
     let ratios = [
-        overhead(
-            "traced",
-            time_run(&|| {
-                let tracer = Tracer::enabled();
-                service
-                    .run_traced(&jobs, &OnlineDroop, 1, &tracer)
-                    .expect("service run");
-            }),
-        ),
-        overhead(
-            "profiled",
-            time_run(&|| {
-                service
-                    .run_profiled(
-                        &jobs,
-                        &OnlineDroop,
-                        1,
-                        &Tracer::disabled(),
-                        ProfileConfig::default(),
-                    )
-                    .expect("service run");
-            }),
-        ),
-        overhead(
-            "monitored",
-            time_run(&|| {
-                service
-                    .run_monitored(
-                        &jobs,
-                        &OnlineDroop,
-                        1,
-                        &Tracer::disabled(),
-                        MonitorConfig::default(),
-                    )
-                    .expect("service run");
-            }),
-        ),
+        overhead("traced", &|| {
+            let tracer = Tracer::enabled();
+            service
+                .run_traced(&jobs, &OnlineDroop, 1, &tracer)
+                .expect("service run");
+        }),
+        overhead("profiled", &|| {
+            service
+                .run_profiled(
+                    &jobs,
+                    &OnlineDroop,
+                    1,
+                    &Tracer::disabled(),
+                    ProfileConfig::default(),
+                )
+                .expect("service run");
+        }),
+        overhead("monitored", &|| {
+            service
+                .run_monitored(
+                    &jobs,
+                    &OnlineDroop,
+                    1,
+                    &Tracer::disabled(),
+                    MonitorConfig::default(),
+                )
+                .expect("service run");
+        }),
+        overhead("streaming", &|| {
+            let tracer = Tracer::streaming_to_writer(std::io::sink(), StreamConfig::default());
+            service
+                .run_traced(&jobs, &OnlineDroop, 1, &tracer)
+                .expect("service run");
+            tracer
+                .finish_stream()
+                .expect("streaming tracer")
+                .expect("flush stream");
+        }),
     ];
+
+    // Peak telemetry memory: Full mode buffers every record until the
+    // run ends; the streaming pipeline's working set is its fixed ring.
+    let full_records = {
+        let tracer = Tracer::enabled();
+        service
+            .run_traced(&jobs, &OnlineDroop, 1, &tracer)
+            .expect("service run");
+        tracer.len() as u64
+    };
+    let stream_stats = {
+        let tracer = Tracer::streaming_to_writer(std::io::sink(), StreamConfig::default());
+        service
+            .run_traced(&jobs, &OnlineDroop, 1, &tracer)
+            .expect("service run");
+        tracer
+            .finish_stream()
+            .expect("streaming tracer")
+            .expect("flush stream")
+    };
+    assert_eq!(
+        stream_stats.dropped_total(),
+        0,
+        "default stream must not drop"
+    );
+    println!(
+        "telemetry memory: full buffers {full_records} records, streaming peaks at \
+         {}/{} ring slots ({} bytes flushed)",
+        stream_stats.peak_ring_occupancy,
+        stream_stats.ring_capacity,
+        stream_stats.sink.bytes_flushed
+    );
 
     // Fleet-sweep throughput: runs per wall second for one seeded
     // heterogeneous sweep, in memory and with per-chunk checkpointing
@@ -194,6 +228,26 @@ fn main() {
             if i + 1 < ratios.len() { "," } else { "" }
         ));
     }
+    out.push_str("  },\n  \"telemetry\": {\n");
+    out.push_str(&format!(
+        "    \"full_mode_peak_records\": {full_records},\n"
+    ));
+    out.push_str(&format!(
+        "    \"streaming_peak_ring_occupancy\": {},\n",
+        stream_stats.peak_ring_occupancy
+    ));
+    out.push_str(&format!(
+        "    \"streaming_ring_capacity\": {},\n",
+        stream_stats.ring_capacity
+    ));
+    out.push_str(&format!(
+        "    \"streaming_bytes_flushed\": {},\n",
+        stream_stats.sink.bytes_flushed
+    ));
+    out.push_str(&format!(
+        "    \"streaming_dropped_total\": {}\n",
+        stream_stats.dropped_total()
+    ));
     out.push_str("  },\n  \"fleet\": {\n");
     out.push_str(&format!("    \"runs\": {fleet_runs},\n"));
     out.push_str(&format!("    \"runs_per_sec\": {fleet_plain_rps:.1},\n"));

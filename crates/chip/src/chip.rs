@@ -344,7 +344,7 @@ impl Chip {
         state.enable_window_capture(self, margin_pct, window);
         state.run(self, sources, cycles, None, None);
         let crossings = state.take_droop_crossings();
-        let windows = state.flush_droop_windows();
+        let windows = state.flush_droop_windows(self);
         Ok((state.into_stats(self), crossings, windows))
     }
 

@@ -144,10 +144,10 @@ impl MeasureState {
 
     /// Force-finalizes in-flight windows (truncated tails) and drains
     /// everything not yet taken.
-    pub(crate) fn flush_droop_windows(&mut self) -> Vec<DroopWindow> {
+    pub(crate) fn flush_droop_windows(&mut self, chip: &Chip) -> Vec<DroopWindow> {
         match self.window.as_mut() {
             Some(w) => {
-                w.flush();
+                w.flush(chip);
                 w.take_windows()
             }
             None => Vec::new(),
@@ -426,7 +426,7 @@ impl ChipSession {
     /// not yet taken. Call once when the measurement ends so no
     /// triggered capture is lost.
     pub fn flush_droop_windows(&mut self) -> Vec<DroopWindow> {
-        self.state.flush_droop_windows()
+        self.state.flush_droop_windows(&self.chip)
     }
 
     /// Arms the physics/bookkeeping invariant checker (see the
@@ -715,6 +715,7 @@ mod tests {
         let wcfg = WindowConfig {
             pre_cycles: 48,
             post_cycles: 80,
+            ..Default::default()
         };
         let mut session = ChipSession::begin_profiled(chip(), &mut warm, 5_000, 2.5, wcfg).unwrap();
         let mut windows = Vec::new();

@@ -12,6 +12,24 @@
 //!
 //! The capture is purely observational — it never feeds back into the
 //! simulation — and costs one `Option` branch per cycle when disabled.
+//!
+//! # Hot-path budget
+//!
+//! `on_cycle` runs on **every measured cycle** of a profiled run, so it
+//! is written to a strict budget: fixed-capacity rings allocated once
+//! at arm time (no per-cycle allocation, no `VecDeque` wraparound
+//! bookkeeping), one counter snapshot copy per core, and a single
+//! 5-wide array compare for event detection instead of per-event keyed
+//! counter lookups. In-flight windows hold **no sample data**: the
+//! shared history rings span a full window (lead-in + tail), so a
+//! burst of overlapping triggers costs nothing per cycle beyond the
+//! ring pushes every armed cycle already pays — each window is
+//! materialized as one bulk copy per series when its tail completes.
+//! Full `PerfCounters` are *not* ring-buffered per cycle; the
+//! trigger-time base snapshot is reconstructed from a compact
+//! [`CounterSnap`] ring, field-exact with the naive approach (integer
+//! fields are integer arithmetic; `committed` is the evicted snapshot's
+//! own value, not a re-summed float).
 
 use crate::chip::Chip;
 use std::collections::VecDeque;
@@ -25,6 +43,13 @@ pub struct WindowConfig {
     pub pre_cycles: usize,
     /// Samples recorded after the trigger cycle.
     pub post_cycles: usize,
+    /// Whether to record the per-core per-cycle current series. It is
+    /// the scope view's most expensive channel (one store per core per
+    /// armed cycle plus a bulk copy per window) and attribution never
+    /// reads it, so consumers that only want counters, events and the
+    /// voltage waveform can switch it off; [`DroopWindow::core_currents`]
+    /// then holds empty series.
+    pub capture_currents: bool,
 }
 
 impl Default for WindowConfig {
@@ -35,6 +60,7 @@ impl Default for WindowConfig {
         Self {
             pre_cycles: 96,
             post_cycles: 160,
+            capture_currents: true,
         }
     }
 }
@@ -72,7 +98,9 @@ pub struct DroopWindow {
     /// Per-cycle sensed voltage deviation, percent of nominal
     /// (negative = below nominal).
     pub voltage_dev_pct: Vec<f64>,
-    /// Per-core per-cycle current draw in amperes (`[core][sample]`).
+    /// Per-core per-cycle current draw in amperes (`[core][sample]`);
+    /// every series is empty when the capture was configured with
+    /// [`WindowConfig::capture_currents`] off.
     pub core_currents: Vec<Vec<f64>>,
     /// Per-core counter deltas over exactly the window's span.
     pub counter_deltas: Vec<PerfCounters>,
@@ -105,14 +133,55 @@ impl DroopWindow {
     }
 }
 
-/// A window still collecting its post-trigger tail.
+/// A window still collecting its post-trigger tail. Holds no sample
+/// data of its own — the shared history rings cover a full window
+/// span, and the series are materialized in bulk at seal time.
 #[derive(Debug, Clone)]
 struct PendingWindow {
-    window: DroopWindow,
+    trigger_cycle: u64,
+    start_cycle: u64,
+    /// Lead-in samples (trigger cycle included) in the window.
+    pre_len: usize,
     /// Counter snapshots from just before the window's first cycle.
     base: Vec<PerfCounters>,
-    /// Post-trigger samples still to record.
-    remaining: usize,
+}
+
+/// The newest `n` samples of a rolling history buffer, oldest-first,
+/// as at most two bulk copies. `latest` is the slot holding the newest
+/// sample; the caller guarantees `n` samples have been written.
+fn tail_of<T: Copy>(buf: &[T], latest: usize, n: usize) -> Vec<T> {
+    let mut out = Vec::with_capacity(n);
+    if n <= latest + 1 {
+        out.extend_from_slice(&buf[latest + 1 - n..=latest]);
+    } else {
+        out.extend_from_slice(&buf[buf.len() - (n - latest - 1)..]);
+        out.extend_from_slice(&buf[..=latest]);
+    }
+    out
+}
+
+/// The per-core counter state a base snapshot must *store* — just 16
+/// bytes per core per cycle. The other [`PerfCounters`] fields are
+/// reconstructed exactly at trigger time: `cycles` as
+/// `current cycles − lead-in length` (core counters tick every
+/// measured cycle, the invariant `delta.cycles() == window.len()`
+/// rests on), and the per-event counts as
+/// `current counts − logged in-window events` (the event log *is* the
+/// counters' cycle-by-cycle diff by construction).
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSnap {
+    stall_cycles: u64,
+    committed: f64,
+}
+
+impl CounterSnap {
+    #[inline]
+    fn of(c: &PerfCounters) -> Self {
+        Self {
+            stall_cycles: c.stall_cycles(),
+            committed: c.instructions(),
+        }
+    }
 }
 
 /// Ring-buffer state for triggered window capture.
@@ -120,19 +189,36 @@ struct PendingWindow {
 pub(crate) struct WindowCapture {
     cfg: WindowConfig,
     cores: usize,
-    dev_ring: VecDeque<f64>,
-    current_rings: Vec<VecDeque<f64>>,
-    counter_rings: Vec<VecDeque<PerfCounters>>,
-    /// Counter snapshots from just before the oldest ring sample.
-    base: Vec<PerfCounters>,
-    /// Counter snapshots after the previous cycle (event detection).
-    prev: Vec<PerfCounters>,
-    /// Counter snapshots after the current cycle (scratch).
-    cur: Vec<PerfCounters>,
-    /// Events within the ring's span, oldest first.
+    /// Rolling history over a full window span (lead-in + tail), so
+    /// any window — however many overlap in flight — materializes as
+    /// one bulk copy per series at seal time. Raw buffers sharing one
+    /// cursor: per cycle the hot path pays plain indexed stores, not
+    /// per-ring head/length bookkeeping.
+    dev_hist: Box<[f64]>,
+    cur_hist: Vec<Box<[f64]>>,
+    /// Compact counter snapshots over the lead-in span (16 bytes per
+    /// cycle per core instead of a full `PerfCounters` ring; see
+    /// [`CounterSnap`]).
+    snap_hist: Vec<Box<[CounterSnap]>>,
+    /// Slot in `dev_hist`/`cur_hist` written by the latest cycle.
+    pos_span: usize,
+    /// Slot in `snap_hist` written by the latest cycle.
+    pos_pre: usize,
+    /// Counter state from just before the oldest lead-in sample.
+    base: Vec<CounterSnap>,
+    /// Per-core event counts after the latest recorded cycle. Only the
+    /// event array is kept between cycles (events are rare, so the
+    /// store is usually skipped); full counters are read straight off
+    /// the chip whenever a snapshot or seal needs them.
+    prev_events: Vec<[u64; 5]>,
+    /// Samples recorded since arming.
+    seen: u64,
+    /// The latest recorded cycle (tail lengths of truncated windows).
+    last_cycle: u64,
+    /// Events within the history's span, oldest first.
     events: VecDeque<WindowEvent>,
-    /// Events that fired on the current cycle (scratch).
-    fresh: Vec<WindowEvent>,
+    /// Reused per-trigger counting buffer (see `on_cycle` step 5).
+    trigger_scratch: Vec<[u64; 5]>,
     pending: VecDeque<PendingWindow>,
     done: Vec<DroopWindow>,
 }
@@ -141,25 +227,33 @@ impl WindowCapture {
     pub(crate) fn new(chip: &Chip, cfg: WindowConfig) -> Self {
         let cfg = WindowConfig {
             pre_cycles: cfg.pre_cycles.max(1),
-            post_cycles: cfg.post_cycles,
+            ..cfg
         };
         let cores = chip.core_count();
-        let snap: Vec<PerfCounters> = (0..cores).map(|c| *chip.core_perf(c)).collect();
+        let cur_cores = if cfg.capture_currents { cores } else { 0 };
+        let span = cfg.pre_cycles + cfg.post_cycles;
         Self {
             cfg,
             cores,
-            dev_ring: VecDeque::with_capacity(cfg.pre_cycles + 1),
-            current_rings: (0..cores)
-                .map(|_| VecDeque::with_capacity(cfg.pre_cycles + 1))
+            dev_hist: vec![0.0; span].into_boxed_slice(),
+            cur_hist: (0..cur_cores)
+                .map(|_| vec![0.0; span].into_boxed_slice())
                 .collect(),
-            counter_rings: (0..cores)
-                .map(|_| VecDeque::with_capacity(cfg.pre_cycles + 1))
+            snap_hist: (0..cores)
+                .map(|_| vec![CounterSnap::default(); cfg.pre_cycles].into_boxed_slice())
                 .collect(),
-            base: snap.clone(),
-            prev: snap.clone(),
-            cur: snap,
+            pos_span: span - 1,
+            pos_pre: cfg.pre_cycles - 1,
+            base: (0..cores)
+                .map(|c| CounterSnap::of(chip.core_perf(c)))
+                .collect(),
+            prev_events: (0..cores)
+                .map(|c| chip.core_perf(c).event_counts_raw())
+                .collect(),
+            seen: 0,
+            last_cycle: 0,
             events: VecDeque::new(),
-            fresh: Vec::new(),
+            trigger_scratch: Vec::new(),
             pending: VecDeque::new(),
             done: Vec::new(),
         }
@@ -168,117 +262,177 @@ impl WindowCapture {
     /// Records one measured cycle. `triggered` marks a new
     /// [`DroopCrossing`](crate::DroopCrossing) starting on this cycle.
     pub(crate) fn on_cycle(&mut self, chip: &Chip, cycle: u64, dev_pct: f64, triggered: bool) {
-        // 1. Snapshot every core and detect freshly fired events by
-        //    diffing the free-running counters, exactly the way the
-        //    window's counter deltas are computed — so per-window event
-        //    lists and counter deltas agree by construction.
-        self.fresh.clear();
+        // 1. Advance the shared history cursors, then snapshot every
+        //    core and detect freshly fired events by diffing the
+        //    free-running counters, exactly the way the window's
+        //    counter deltas are computed — so per-window event lists
+        //    and counter deltas agree by construction. One array
+        //    compare filters the (common) no-event cycles.
+        let span = self.dev_hist.len();
+        let pre = self.cfg.pre_cycles;
+        self.pos_span = if self.pos_span + 1 == span {
+            0
+        } else {
+            self.pos_span + 1
+        };
+        self.pos_pre = if self.pos_pre + 1 == pre {
+            0
+        } else {
+            self.pos_pre + 1
+        };
+        let (ps, pp) = (self.pos_span, self.pos_pre);
+        // 2. Record this cycle into the lead-in history; once the
+        //    snapshot buffer is full, the overwritten slot (the sample
+        //    from `pre` cycles ago) becomes the base "just before the
+        //    oldest sample".
+        let evict = self.seen >= pre as u64;
         for core in 0..self.cores {
-            let now = *chip.core_perf(core);
-            for event in StallEvent::ALL {
-                let before = self.prev[core].event_count(event);
-                let after = now.event_count(event);
-                for _ in before..after {
-                    self.fresh.push(WindowEvent { cycle, core, event });
+            let now = chip.core_perf(core);
+            let now_events = now.event_counts_raw();
+            let prev_events = self.prev_events[core];
+            if now_events != prev_events {
+                for (idx, event) in StallEvent::ALL.into_iter().enumerate() {
+                    for _ in prev_events[idx]..now_events[idx] {
+                        self.events.push_back(WindowEvent { cycle, core, event });
+                    }
                 }
+                self.prev_events[core] = now_events;
             }
-            self.cur[core] = now;
+            let slot = &mut self.snap_hist[core][pp];
+            if evict {
+                self.base[core] = *slot;
+            }
+            *slot = CounterSnap::of(now);
+            // Empty when current capture is configured off.
+            if let Some(buf) = self.cur_hist.get_mut(core) {
+                buf[ps] = chip.core_current(core);
+            }
         }
+        self.dev_hist[ps] = dev_pct;
+        self.seen += 1;
+        self.last_cycle = cycle;
 
-        // 2. Push this cycle into the lead-in rings, evicting the
-        //    oldest sample once full. The evicted counter snapshot
-        //    becomes the base "just before the oldest sample".
-        self.dev_ring.push_back(dev_pct);
-        for (core, ring) in self.current_rings.iter_mut().enumerate() {
-            ring.push_back(chip.core_current(core));
-        }
-        for (core, ring) in self.counter_rings.iter_mut().enumerate() {
-            ring.push_back(self.cur[core]);
-        }
-        if self.dev_ring.len() > self.cfg.pre_cycles {
-            self.dev_ring.pop_front();
-            for ring in &mut self.current_rings {
-                ring.pop_front();
-            }
-            for (core, ring) in self.counter_rings.iter_mut().enumerate() {
-                if let Some(snap) = ring.pop_front() {
-                    self.base[core] = snap;
-                }
-            }
-        }
-
-        // 3. Keep the event log pruned to the ring's span, then append
-        //    this cycle's events.
-        let oldest = cycle + 1 - self.dev_ring.len() as u64;
+        // 3. Keep the event log pruned to the history's span (this
+        //    cycle's events, just appended, are always inside it).
+        let oldest = cycle + 1 - self.seen.min(span as u64);
         while self.events.front().is_some_and(|e| e.cycle < oldest) {
             self.events.pop_front();
         }
-        self.events.extend(self.fresh.iter().copied());
 
-        // 4. Grow every in-flight window by this sample; finalize the
-        //    ones whose tail is complete (FIFO: equal tail lengths mean
-        //    the oldest trigger always finishes first).
-        for p in &mut self.pending {
-            p.window.voltage_dev_pct.push(dev_pct);
-            for (core, series) in p.window.core_currents.iter_mut().enumerate() {
-                series.push(chip.core_current(core));
-            }
-            p.window.events.extend(self.fresh.iter().copied());
-            p.window.depth_pct = p.window.depth_pct.max(-dev_pct);
-            p.remaining -= 1;
-        }
-        while self.pending.front().is_some_and(|p| p.remaining == 0) {
+        // 4. Seal the windows whose tail completed on this cycle
+        //    (FIFO: equal tail lengths mean the oldest trigger always
+        //    finishes first). The history rings still cover the whole
+        //    window: a just-completed tail is exactly the newest
+        //    `post_cycles` samples.
+        while self
+            .pending
+            .front()
+            .is_some_and(|p| p.trigger_cycle + self.cfg.post_cycles as u64 == cycle)
+        {
             let p = self.pending.pop_front().expect("front checked");
-            self.done.push(Self::sealed(p, &self.cur, false));
+            let w = self.seal(chip, &p, self.cfg.post_cycles, false);
+            self.done.push(w);
         }
 
-        // 5. A new crossing freezes the rings (which already include
-        //    this cycle) as the lead-in of a fresh window.
+        // 5. A new crossing pins a window over the history (which
+        //    already includes this cycle as the last lead-in sample).
         if triggered {
-            let window = DroopWindow {
-                trigger_cycle: cycle,
-                depth_pct: -dev_pct,
-                start_cycle: oldest,
-                truncated: false,
-                voltage_dev_pct: self.dev_ring.iter().copied().collect(),
-                core_currents: self
-                    .current_rings
-                    .iter()
-                    .map(|r| r.iter().copied().collect())
-                    .collect(),
-                counter_deltas: Vec::new(),
-                events: self.events.iter().copied().collect(),
-            };
+            let pre_len = self.seen.min(self.cfg.pre_cycles as u64) as usize;
+            let start_cycle = cycle + 1 - pre_len as u64;
+            // Per-core per-kind counts of the logged events inside the
+            // lead-in (the log always spans it); subtracted from the
+            // live counters they reproduce the base counts exactly.
+            self.trigger_scratch.clear();
+            self.trigger_scratch.resize(self.cores, [0u64; 5]);
+            for e in self.events.iter().filter(|e| e.cycle >= start_cycle) {
+                self.trigger_scratch[e.core][e.event.index()] += 1;
+            }
+            let in_window = &self.trigger_scratch;
             let p = PendingWindow {
-                window,
-                base: self.base.clone(),
-                remaining: self.cfg.post_cycles,
+                trigger_cycle: cycle,
+                start_cycle,
+                pre_len,
+                base: (0..self.cores)
+                    .map(|c| {
+                        let now = chip.core_perf(c);
+                        let b = &self.base[c];
+                        let mut events = now.event_counts_raw();
+                        for (count, inside) in events.iter_mut().zip(&in_window[c]) {
+                            *count -= inside;
+                        }
+                        PerfCounters::from_parts(
+                            now.cycles() - pre_len as u64,
+                            b.stall_cycles,
+                            b.committed,
+                            events,
+                        )
+                    })
+                    .collect(),
             };
-            if p.remaining == 0 {
-                self.done.push(Self::sealed(p, &self.cur, false));
+            if self.cfg.post_cycles == 0 {
+                let w = self.seal(chip, &p, 0, false);
+                self.done.push(w);
             } else {
                 self.pending.push_back(p);
             }
         }
-
-        std::mem::swap(&mut self.prev, &mut self.cur);
     }
 
-    /// Completes a pending window against the latest counter snapshots.
-    fn sealed(mut p: PendingWindow, now: &[PerfCounters], truncated: bool) -> DroopWindow {
-        p.window.truncated = truncated;
-        p.window.counter_deltas = now
+    /// Materializes a pending window out of the shared history rings
+    /// against the chip's current counters (seals always happen on the
+    /// window's own last cycle, so "current" is exact). `post_elapsed`
+    /// is the tail length actually recorded (`post_cycles` except under
+    /// a flush).
+    fn seal(
+        &self,
+        chip: &Chip,
+        p: &PendingWindow,
+        post_elapsed: usize,
+        truncated: bool,
+    ) -> DroopWindow {
+        let n = p.pre_len + post_elapsed;
+        debug_assert!(n as u64 <= self.seen);
+        let voltage_dev_pct = tail_of(&self.dev_hist, self.pos_span, n);
+        // Deepest excursion from the trigger sample (index pre_len - 1)
+        // to the end of the window.
+        let depth_pct = voltage_dev_pct[p.pre_len - 1..]
             .iter()
-            .zip(&p.base)
-            .map(|(now, base)| now.delta_since(base))
-            .collect();
-        p.window
+            .fold(f64::NEG_INFINITY, |m, &v| m.max(-v));
+        DroopWindow {
+            trigger_cycle: p.trigger_cycle,
+            depth_pct,
+            start_cycle: p.start_cycle,
+            truncated,
+            voltage_dev_pct,
+            core_currents: if self.cfg.capture_currents {
+                self.cur_hist
+                    .iter()
+                    .map(|buf| tail_of(buf, self.pos_span, n))
+                    .collect()
+            } else {
+                vec![Vec::new(); self.cores]
+            },
+            counter_deltas: p
+                .base
+                .iter()
+                .enumerate()
+                .map(|(c, base)| chip.core_perf(c).delta_since(base))
+                .collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.cycle >= p.start_cycle)
+                .copied()
+                .collect(),
+        }
     }
 
     /// Force-finalizes every in-flight window (truncated tails).
-    pub(crate) fn flush(&mut self) {
+    pub(crate) fn flush(&mut self, chip: &Chip) {
         while let Some(p) = self.pending.pop_front() {
-            self.done.push(Self::sealed(p, &self.prev, true));
+            let post_elapsed = (self.last_cycle - p.trigger_cycle) as usize;
+            let w = self.seal(chip, &p, post_elapsed, true);
+            self.done.push(w);
         }
     }
 

@@ -21,6 +21,7 @@ use std::sync::Mutex;
 use vsmooth_chip::{run_pair, run_workload, ChipBatch, RunStats, PHASE_MARGIN_PCT};
 use vsmooth_resilience::{measure_worst_case_margin, WorstCaseMargin};
 use vsmooth_stats::MetricsRegistry;
+use vsmooth_trace::{ArgValue, Tracer, PID_CAMPAIGN};
 
 /// Outcome of an interruptible sweep.
 #[derive(Debug)]
@@ -66,7 +67,30 @@ impl FleetCampaign {
     /// Returns the first simulation error encountered.
     pub fn run(&self, threads: usize) -> Result<FleetReport, FleetError> {
         let mut ckpt = Checkpoint::new(self.spec.fingerprint(), self.spec.total_runs());
-        self.execute(threads, &mut ckpt, None, None, None)?;
+        self.execute(threads, &mut ckpt, None, None, None, None)?;
+        self.assemble(&ckpt, None)
+    }
+
+    /// Like [`run`](Self::run), recording every completed run into
+    /// `tracer`: one span per run on the campaign track (one virtual
+    /// thread per chip, runs laid end to end on a per-chip cumulative
+    /// clock) plus a running per-chip droop counter. Spans are emitted
+    /// coordinator-side in canonical run order, so the trace bytes are
+    /// thread-count-independent — and a streaming tracer bounds the
+    /// sweep's telemetry memory however large the fleet grows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error encountered.
+    pub fn run_traced(&self, threads: usize, tracer: &Tracer) -> Result<FleetReport, FleetError> {
+        let mut ckpt = Checkpoint::new(self.spec.fingerprint(), self.spec.total_runs());
+        if tracer.is_enabled() {
+            tracer.process_name(PID_CAMPAIGN, "fleet sweep");
+            for variant in self.spec.variants() {
+                tracer.thread_name(PID_CAMPAIGN, variant.index as u64, variant.id());
+            }
+        }
+        self.execute(threads, &mut ckpt, None, None, None, Some(tracer))?;
         self.assemble(&ckpt, None)
     }
 
@@ -84,7 +108,7 @@ impl FleetCampaign {
         metrics: &MetricsRegistry,
     ) -> Result<FleetReport, FleetError> {
         let mut ckpt = Checkpoint::new(self.spec.fingerprint(), self.spec.total_runs());
-        self.execute(threads, &mut ckpt, None, None, Some(metrics))?;
+        self.execute(threads, &mut ckpt, None, None, Some(metrics), None)?;
         self.assemble(&ckpt, Some(metrics))
     }
 
@@ -103,7 +127,7 @@ impl FleetCampaign {
         metrics: Option<&MetricsRegistry>,
     ) -> Result<FleetReport, FleetError> {
         let mut ckpt = self.load_or_new(path)?;
-        self.execute(threads, &mut ckpt, Some(path), None, metrics)?;
+        self.execute(threads, &mut ckpt, Some(path), None, metrics, None)?;
         self.assemble(&ckpt, metrics)
     }
 
@@ -123,7 +147,14 @@ impl FleetCampaign {
         metrics: Option<&MetricsRegistry>,
     ) -> Result<FleetOutcome, FleetError> {
         let mut ckpt = self.load_or_new(path)?;
-        self.execute(threads, &mut ckpt, Some(path), Some(stop_after), metrics)?;
+        self.execute(
+            threads,
+            &mut ckpt,
+            Some(path),
+            Some(stop_after),
+            metrics,
+            None,
+        )?;
         if ckpt.is_complete() {
             Ok(FleetOutcome::Complete(self.assemble(&ckpt, metrics)?))
         } else {
@@ -165,7 +196,11 @@ impl FleetCampaign {
         path: Option<&Path>,
         stop_after: Option<usize>,
         metrics: Option<&MetricsRegistry>,
+        tracer: Option<&Tracer>,
     ) -> Result<(), FleetError> {
+        // Per-chip cumulative clocks for trace emission: runs on one
+        // chip lay end to end on that chip's virtual-thread timeline.
+        let mut clocks: Vec<(u64, u64)> = vec![(0, 0); self.spec.chips];
         let threads = threads.max(1);
         let variants = self.spec.variants();
         let pending: Vec<FleetRun> = self
@@ -222,6 +257,26 @@ impl FleetCampaign {
                     m.counter_with("fleet_runs_total", labels, 1);
                     m.counter_with("fleet_cycles_total", labels, rec.cycles);
                     m.counter_with("fleet_droops_total", labels, rec.droops);
+                }
+                if let Some(t) = tracer.filter(|t| t.is_enabled()) {
+                    let (cycles_before, droops_before) = clocks[rec.chip];
+                    t.complete(
+                        rec.label.clone(),
+                        "fleet-run",
+                        PID_CAMPAIGN,
+                        rec.chip as u64,
+                        cycles_before,
+                        rec.cycles.max(1),
+                        vec![
+                            ("run", ArgValue::from(rec.run as u64)),
+                            ("droops", ArgValue::from(rec.droops)),
+                            ("ipc", ArgValue::F64(rec.ipc)),
+                        ],
+                    );
+                    let clock = &mut clocks[rec.chip];
+                    clock.0 = cycles_before + rec.cycles;
+                    clock.1 = droops_before + rec.droops;
+                    t.counter("fleet_droops_total", PID_CAMPAIGN, clock.0, clock.1 as f64);
                 }
                 ckpt.record(rec);
                 fresh += 1;
@@ -414,6 +469,44 @@ mod tests {
         assert!(snap
             .render_prometheus()
             .contains("fleet_worst_case_margin_pct{chip=\"chip03\"}"));
+    }
+
+    #[test]
+    fn traced_sweep_bytes_are_thread_count_independent() {
+        let trace_at = |threads: usize| {
+            let tracer = Tracer::enabled();
+            FleetCampaign::new(small_spec(61))
+                .unwrap()
+                .run_traced(threads, &tracer)
+                .unwrap();
+            tracer.to_chrome_json()
+        };
+        let one = trace_at(1);
+        assert_eq!(one, trace_at(4));
+        let shape = vsmooth_trace::validate_chrome_trace(&one).unwrap();
+        // One span and one counter per run, plus process/thread names.
+        assert_eq!(shape.spans, 24);
+        assert_eq!(shape.counters, 24);
+    }
+
+    #[test]
+    fn streaming_tracer_bounds_sweep_telemetry() {
+        let tracer = Tracer::streaming_to_writer(
+            std::io::sink(),
+            vsmooth_trace::StreamConfig {
+                ring_capacity: 16,
+                chunk_bytes: 1_024,
+                sampler: None,
+            },
+        );
+        FleetCampaign::new(small_spec(61))
+            .unwrap()
+            .run_traced(2, &tracer)
+            .unwrap();
+        let stats = tracer.finish_stream().unwrap().unwrap();
+        assert_eq!(stats.dropped_total(), 0);
+        assert!(stats.peak_ring_occupancy < stats.ring_capacity);
+        assert_eq!(stats.records_written, stats.records_seen);
     }
 
     #[test]

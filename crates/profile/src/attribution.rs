@@ -76,10 +76,20 @@ pub struct DroopAttribution {
 /// ```
 pub fn attribute(window: &DroopWindow, decay_tau_cycles: f64) -> DroopAttribution {
     let tau = decay_tau_cycles.max(f64::MIN_POSITIVE);
+    attribute_with(window, |dt| (-(dt as f64) / tau).exp())
+}
+
+/// As [`attribute`], but with the decay weight supplied per cycle
+/// distance to the trigger — [`Profiler`](crate::Profiler) memoizes
+/// `exp` over the bounded integer lead-in distances, which dominates
+/// scoring cost on event-dense windows.
+pub(crate) fn attribute_with(
+    window: &DroopWindow,
+    weight_of: impl Fn(u64) -> f64,
+) -> DroopAttribution {
     let mut weights = [0.0f64; N_EVENTS];
     for ev in window.lead_in_events() {
-        let dt = (window.trigger_cycle - ev.cycle) as f64;
-        weights[event_index(ev.event)] += (-dt / tau).exp();
+        weights[event_index(ev.event)] += weight_of(window.trigger_cycle - ev.cycle);
     }
     let total: f64 = weights.iter().sum();
     if total > 0.0 {

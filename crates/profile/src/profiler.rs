@@ -1,7 +1,7 @@
 //! Window aggregation: per-workload noise profiles and the resonance
 //! estimate.
 
-use crate::attribution::{attribute, event_index, DroopAttribution, N_EVENTS};
+use crate::attribution::{attribute_with, event_index, DroopAttribution, N_EVENTS};
 use crate::report::{ProfileReport, WorkloadProfile};
 use crate::ProfileConfig;
 use std::collections::BTreeMap;
@@ -78,12 +78,33 @@ pub struct Profiler {
     acf: Vec<f64>,
     /// Sample-pair counts per lag.
     acf_counts: Vec<u64>,
+    /// Memoized decay weights: `decay[dt] = exp(-dt / tau)` for every
+    /// integer trigger distance a lead-in event can have. Scoring is
+    /// per droop per event, and `exp` dominates it without this.
+    decay: Vec<f64>,
+    /// Reused first-difference buffer for [`Self::accumulate_acf`].
+    diff_scratch: Vec<f64>,
+    /// Reused per-window lag accumulators for [`Self::accumulate_acf`].
+    lag_scratch: Vec<f64>,
+    /// ACF-eligible windows seen / actually pooled, and the current
+    /// decimation stride (see [`Self::accumulate_acf`]).
+    acf_seen: u64,
+    acf_pooled: u64,
+    acf_stride: u64,
 }
+
+/// Pooled windows per decimation step: the stride doubles every time
+/// this many more windows have been folded into the autocorrelation.
+const ACF_POOL_BATCH: u64 = 512;
 
 impl Profiler {
     /// A profiler for droops captured at `margin_pct`.
     pub fn new(margin_pct: f64, cfg: ProfileConfig) -> Self {
         let lags = cfg.max_lag.max(4) + 1;
+        let tau = cfg.decay_tau_cycles.max(f64::MIN_POSITIVE);
+        let decay = (0..cfg.window.pre_cycles.max(1) as u64)
+            .map(|dt| (-(dt as f64) / tau).exp())
+            .collect();
         Self {
             cfg,
             margin_pct,
@@ -93,6 +114,12 @@ impl Profiler {
             truncated_windows: 0,
             acf: vec![0.0; lags],
             acf_counts: vec![0; lags],
+            decay,
+            diff_scratch: Vec::new(),
+            lag_scratch: Vec::new(),
+            acf_seen: 0,
+            acf_pooled: 0,
+            acf_stride: 1,
         }
     }
 
@@ -115,11 +142,19 @@ impl Profiler {
     /// returning the per-droop attribution (so callers can emit trace
     /// spans or per-job annotations without re-scoring).
     pub fn record(&mut self, label: &str, window: &DroopWindow) -> DroopAttribution {
-        let att = attribute(window, self.cfg.decay_tau_cycles);
-        let profile = self
-            .profiles
-            .entry(label.to_string())
-            .or_insert_with(|| NoiseProfile::new(&self.cfg));
+        let tau = self.cfg.decay_tau_cycles.max(f64::MIN_POSITIVE);
+        let decay = &self.decay;
+        // Table lookup for the (bounded) distances capture produces,
+        // the identical `exp` for anything farther out.
+        let att = attribute_with(window, |dt| match decay.get(dt as usize) {
+            Some(&w) => w,
+            None => (-(dt as f64) / tau).exp(),
+        });
+        if !self.profiles.contains_key(label) {
+            self.profiles
+                .insert(label.to_string(), NoiseProfile::new(&self.cfg));
+        }
+        let profile = self.profiles.get_mut(label).expect("just inserted");
         profile.droops += 1;
         if window.truncated {
             profile.truncated_windows += 1;
@@ -155,18 +190,51 @@ impl Profiler {
     /// autocorrelation. The first difference of the waveform is used so
     /// the exponential recovery baseline (and any slow regulator trend)
     /// drops out, leaving the resonance oscillation.
+    ///
+    /// Pooling is adaptively decimated: the estimate converges after a
+    /// few hundred windows, so once [`ACF_POOL_BATCH`] windows are in
+    /// the pool only every 2nd eligible window is folded, then every
+    /// 4th, and so on. Sparse runs pool everything; droop storms pay a
+    /// logarithmically bounded share of ACF work. The decision is a
+    /// deterministic function of arrival order, keeping reports
+    /// byte-stable.
     fn accumulate_acf(&mut self, window: &DroopWindow) {
         let start = (window.trigger_cycle - window.start_cycle) as usize;
         let post = &window.voltage_dev_pct[start..];
         if post.len() < 8 {
             return;
         }
-        let mut d: Vec<f64> = post.windows(2).map(|p| p[1] - p[0]).collect();
+        self.acf_seen += 1;
+        if !(self.acf_seen - 1).is_multiple_of(self.acf_stride) {
+            return;
+        }
+        self.acf_pooled += 1;
+        if self.acf_pooled.is_multiple_of(ACF_POOL_BATCH) {
+            self.acf_stride *= 2;
+        }
+        let mut d = std::mem::take(&mut self.diff_scratch);
+        d.clear();
+        d.extend(post.windows(2).map(|p| p[1] - p[0]));
         let mean = d.iter().sum::<f64>() / d.len() as f64;
         for x in &mut d {
             *x -= mean;
         }
         let max_lag = self.cfg.max_lag.min(d.len().saturating_sub(1));
+        let n = d.len();
+        let mut acc = std::mem::take(&mut self.lag_scratch);
+        acc.clear();
+        acc.resize(max_lag + 1, 0.0);
+        // Sample-outer, lag-inner: for each lag the products still
+        // accumulate in increasing sample order (bit-identical to a
+        // per-lag sequential dot), but the inner loop walks contiguous
+        // memory over independent accumulators, so it vectorizes.
+        for i in 0..n {
+            let di = d[i];
+            let lmax = max_lag.min(n - 1 - i);
+            for (a, &x) in acc[..=lmax].iter_mut().zip(&d[i..=i + lmax]) {
+                *a += di * x;
+            }
+        }
         for (lag, (acf, count)) in self
             .acf
             .iter_mut()
@@ -174,10 +242,11 @@ impl Profiler {
             .enumerate()
             .take(max_lag + 1)
         {
-            let _ = lag;
-            *acf += d.iter().zip(&d[lag..]).map(|(a, b)| a * b).sum::<f64>();
-            *count += (d.len() - lag) as u64;
+            *acf += acc[lag];
+            *count += (n - lag) as u64;
         }
+        self.lag_scratch = acc;
+        self.diff_scratch = d;
     }
 
     /// The dominant ringing period, in cycles, estimated as the first

@@ -482,6 +482,14 @@ impl CampaignSpec {
                 }
             }
         }
+        if let Some(m) = metrics {
+            if tracer.is_streaming() {
+                // Streaming-pipeline self-observation lands in the same
+                // registry as the campaign counters; non-streaming runs
+                // keep their exact historical snapshots.
+                tracer.export_telemetry(m);
+            }
+        }
         Ok(CampaignResult { runs })
     }
 }

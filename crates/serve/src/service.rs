@@ -25,7 +25,8 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
-    Chip, ChipConfig, ChipError, ChipSession, DroopWindow, SliceStats, PHASE_MARGIN_PCT,
+    Chip, ChipConfig, ChipError, ChipSession, DroopWindow, SliceStats, WindowConfig,
+    PHASE_MARGIN_PCT,
 };
 use vsmooth_monitor::{
     EpochSample, HealthReport, HealthSummary, Monitor, MonitorConfig, SliceRecord,
@@ -403,7 +404,13 @@ impl Service {
             // profiler's own margin must match what the sessions
             // trigger at.
             debug_assert_eq!(p.margin_pct(), margin);
-            let window = p.config().window;
+            // Attribution and trace spans never read the per-core
+            // current series, and windows are consumed in-service, so
+            // skip the scope's most expensive channel.
+            let window = WindowConfig {
+                capture_currents: false,
+                ..p.config().window
+            };
             for slot in &mut slots {
                 slot.session.enable_profiling(margin, window);
             }
@@ -691,6 +698,13 @@ impl Service {
             }
         }
 
+        if tracer.is_streaming() {
+            // The telemetry pipeline observes itself: drop/flush/
+            // sampler counters land in the same snapshot the report
+            // embeds. Only streaming tracers add these series, so
+            // non-streaming runs keep their exact historical renders.
+            tracer.export_telemetry(&metrics);
+        }
         let snapshot = metrics.snapshot();
         let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
             if completed.is_empty() {

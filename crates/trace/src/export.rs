@@ -60,7 +60,9 @@ fn push_args(out: &mut String, args: &Args) {
     out.push('}');
 }
 
-fn push_event(out: &mut String, record: &TraceRecord) {
+/// Renders one record as a JSON object. Shared with the incremental
+/// streaming sink so batch and streamed exports are byte-identical.
+pub(crate) fn push_event(out: &mut String, record: &TraceRecord) {
     out.push('{');
     match record {
         TraceRecord::Span {
@@ -341,12 +343,32 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.error("unknown escape")),
                     }
                 }
-                _ => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.error("end"))?;
-                    self.pos += c.len_utf8();
+                b if b < 0x80 => {
+                    self.pos += 1;
+                    out.push(b as char);
+                }
+                b => {
+                    // Consume one multi-byte UTF-8 character. Decoding
+                    // only its own bytes (length from the leading byte)
+                    // keeps string parsing linear — validating the whole
+                    // remaining input per character made large documents
+                    // quadratic to parse.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.error("invalid utf-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.error("invalid utf-8"))?;
+                    let c = std::str::from_utf8(chunk)
+                        .map_err(|_| self.error("invalid utf-8"))?
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("invalid utf-8"))?;
+                    self.pos += len;
                     out.push(c);
                 }
             }

@@ -51,10 +51,14 @@
 
 pub mod event;
 pub mod export;
+pub mod stream;
 pub mod tracer;
 
 pub use event::{
     chip_pid, ArgValue, Args, DroopEvent, TraceRecord, PID_CAMPAIGN, PID_JOBS, PID_MONITOR,
 };
 pub use export::{chrome_trace_json, parse_json, validate_chrome_trace, JsonValue, TraceShape};
+pub use stream::{
+    ChromeJsonSink, DropReason, SamplerConfig, SinkStats, StreamConfig, TelemetryStats, TraceSink,
+};
 pub use tracer::{SpanGuard, TraceBuffer, TraceMode, Tracer};

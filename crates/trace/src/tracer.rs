@@ -13,6 +13,7 @@
 //! independent of the worker-thread count.
 
 use crate::event::{chip_pid, ArgValue, Args, DroopEvent, TraceRecord};
+use crate::stream::{ChromeJsonSink, StreamConfig, StreamState, TelemetryStats, TraceSink};
 use std::sync::Mutex;
 
 /// What a [`Tracer`] records.
@@ -25,12 +26,30 @@ pub enum TraceMode {
     Spans,
     /// Record everything, including typed droop events.
     Full,
+    /// Record everything through the bounded streaming pipeline
+    /// (fixed-capacity ring, optional sampler and sink) instead of the
+    /// unbounded Full-mode buffer. See the [`stream`](crate::stream)
+    /// module docs.
+    Streaming,
 }
 
 #[derive(Debug, Default)]
 struct TracerState {
     records: Vec<TraceRecord>,
     droops_total: u64,
+    /// The streaming pipeline; `Some` exactly in `Streaming` mode.
+    stream: Option<StreamState>,
+}
+
+impl TracerState {
+    /// The single record funnel: streaming mode routes through the
+    /// bounded pipeline, every other enabled mode buffers.
+    fn push(&mut self, record: TraceRecord) {
+        match &mut self.stream {
+            Some(stream) => stream.offer(record),
+            None => self.records.push(record),
+        }
+    }
 }
 
 /// A private, lock-free record buffer for one worker thread.
@@ -125,8 +144,51 @@ impl Tracer {
         Self::with_mode(TraceMode::Full)
     }
 
-    /// A tracer in the given mode.
+    /// A streaming tracer with no sink: the ring is a flight recorder
+    /// holding the newest `cfg.ring_capacity` records, evicting the
+    /// oldest with typed drop accounting.
+    pub fn streaming(cfg: StreamConfig) -> Self {
+        Self {
+            mode: TraceMode::Streaming,
+            state: Mutex::new(TracerState {
+                stream: Some(StreamState::new(cfg, None)),
+                ..TracerState::default()
+            }),
+        }
+    }
+
+    /// A streaming tracer draining through `sink`: the ring flushes at
+    /// a watermark below capacity, so memory stays bounded however
+    /// long the record stream runs.
+    pub fn streaming_to(sink: Box<dyn TraceSink>, cfg: StreamConfig) -> Self {
+        Self {
+            mode: TraceMode::Streaming,
+            state: Mutex::new(TracerState {
+                stream: Some(StreamState::new(cfg, Some(sink))),
+                ..TracerState::default()
+            }),
+        }
+    }
+
+    /// A streaming tracer writing Chrome trace-event JSON to `writer`
+    /// in bounded chunks — byte-identical to
+    /// [`to_chrome_json`](Self::to_chrome_json) on the same stream.
+    /// Call [`finish_stream`](Self::finish_stream) to complete the
+    /// document.
+    pub fn streaming_to_writer(
+        writer: impl std::io::Write + Send + 'static,
+        cfg: StreamConfig,
+    ) -> Self {
+        let sink = ChromeJsonSink::new(writer, cfg.chunk_bytes);
+        Self::streaming_to(Box::new(sink), cfg)
+    }
+
+    /// A tracer in the given mode (`Streaming` gets the default
+    /// [`StreamConfig`], sink-less).
     pub fn with_mode(mode: TraceMode) -> Self {
+        if mode == TraceMode::Streaming {
+            return Self::streaming(StreamConfig::default());
+        }
         Self {
             mode,
             state: Mutex::new(TracerState::default()),
@@ -148,11 +210,17 @@ impl Tracer {
     /// Whether droop-event capture should be switched on chip-side.
     #[inline]
     pub fn wants_droop_events(&self) -> bool {
-        self.mode == TraceMode::Full
+        matches!(self.mode, TraceMode::Full | TraceMode::Streaming)
+    }
+
+    /// Whether records flow through the bounded streaming pipeline.
+    #[inline]
+    pub fn is_streaming(&self) -> bool {
+        self.mode == TraceMode::Streaming
     }
 
     fn push(&self, record: TraceRecord) {
-        self.state.lock().expect("tracer lock").records.push(record);
+        self.state.lock().expect("tracer lock").push(record);
     }
 
     /// Names a virtual process in the exported trace.
@@ -266,14 +334,14 @@ impl Tracer {
     /// timeline plus a `droops_total` counter sample (the running
     /// total across the whole run).
     pub fn droop(&self, event: DroopEvent) {
-        if self.mode != TraceMode::Full {
+        if !self.wants_droop_events() {
             return;
         }
         let mut state = self.state.lock().expect("tracer lock");
         state.droops_total += 1;
         let total = state.droops_total;
         let pid = chip_pid(event.chip);
-        state.records.push(TraceRecord::Instant {
+        state.push(TraceRecord::Instant {
             name: "droop".into(),
             cat: "droop",
             pid,
@@ -285,7 +353,7 @@ impl Tracer {
                 ("phase", ArgValue::Str(event.phase)),
             ],
         });
-        state.records.push(TraceRecord::Counter {
+        state.push(TraceRecord::Counter {
             name: "droops_total".into(),
             pid,
             ts: event.cycle,
@@ -299,11 +367,15 @@ impl Tracer {
         if !self.is_enabled() || buffer.is_empty() {
             return;
         }
-        self.state
-            .lock()
-            .expect("tracer lock")
-            .records
-            .extend(buffer.records);
+        let mut state = self.state.lock().expect("tracer lock");
+        match &mut state.stream {
+            Some(stream) => {
+                for record in buffer.records {
+                    stream.offer(record);
+                }
+            }
+            None => state.records.extend(buffer.records),
+        }
     }
 
     /// Droop events recorded so far.
@@ -311,30 +383,85 @@ impl Tracer {
         self.state.lock().expect("tracer lock").droops_total
     }
 
-    /// Number of records so far.
+    /// Number of records currently buffered in memory (for a sink-fed
+    /// streaming tracer this is the ring's residue, not the stream
+    /// total — see [`telemetry`](Self::telemetry) for the totals).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("tracer lock").records.len()
+        let state = self.state.lock().expect("tracer lock");
+        match &state.stream {
+            Some(stream) => stream.buffered_len(),
+            None => state.records.len(),
+        }
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// A copy of the recorded stream, in record order.
+    /// A copy of the buffered record stream, in record order.
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.state.lock().expect("tracer lock").records.clone()
+        let state = self.state.lock().expect("tracer lock");
+        match &state.stream {
+            Some(stream) => stream.buffered(),
+            None => state.records.clone(),
+        }
     }
 
-    /// Drains the recorded stream, leaving the tracer empty (the droop
+    /// Drains the buffered stream, leaving the tracer empty (the droop
     /// running total is kept so later counter samples stay monotonic).
-    pub fn take_records(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut self.state.lock().expect("tracer lock").records)
+    ///
+    /// The `&mut self` receiver makes the drain explicit at call sites:
+    /// unlike the read-only accessors this *consumes* the buffer, so it
+    /// demands exclusive access instead of hiding the mutation behind
+    /// the interior lock. A second take without intervening records
+    /// returns an empty stream.
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        let state = self.state.get_mut().expect("tracer lock");
+        match &mut state.stream {
+            Some(stream) => stream.take_buffered(),
+            None => std::mem::take(&mut state.records),
+        }
     }
 
-    /// Renders the recorded stream as Chrome trace-event JSON.
+    /// Renders the buffered stream as Chrome trace-event JSON.
     pub fn to_chrome_json(&self) -> String {
         crate::export::chrome_trace_json(&self.records())
+    }
+
+    /// The streaming pipeline's self-observation stats, if streaming.
+    pub fn telemetry(&self) -> Option<TelemetryStats> {
+        self.state
+            .lock()
+            .expect("tracer lock")
+            .stream
+            .as_ref()
+            .map(StreamState::stats_snapshot)
+    }
+
+    /// Drains the ring through the sink, completes the output document
+    /// and returns the final stats. `None` when not streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error (drop accounting still reflects
+    /// the attempt).
+    pub fn finish_stream(&self) -> Option<std::io::Result<TelemetryStats>> {
+        self.state
+            .lock()
+            .expect("tracer lock")
+            .stream
+            .as_mut()
+            .map(StreamState::finish)
+    }
+
+    /// Exports the streaming pipeline's self-observation into
+    /// `metrics` (no-op for non-streaming tracers). See
+    /// [`TelemetryStats::export_metrics`] for the series emitted.
+    pub fn export_telemetry(&self, metrics: &vsmooth_stats::MetricsRegistry) {
+        if let Some(stats) = self.telemetry() {
+            stats.export_metrics(metrics);
+        }
     }
 }
 
@@ -465,7 +592,7 @@ mod tests {
 
     #[test]
     fn take_records_drains_but_keeps_droop_total() {
-        let t = Tracer::enabled();
+        let mut t = Tracer::enabled();
         t.droop(droop(0, 1));
         assert_eq!(t.take_records().len(), 2);
         assert!(t.is_empty());
@@ -474,5 +601,49 @@ mod tests {
             panic!("expected counter");
         };
         assert_eq!(*value, 2.0, "running total survives a drain");
+    }
+
+    #[test]
+    fn double_take_returns_an_empty_stream() {
+        // Regression for the old `take_records(&self)` API: draining
+        // through a shared reference let a reader that thought it held
+        // a snapshot silently empty the tracer for everyone else. The
+        // drain is now exclusive, and a second take yields nothing.
+        let mut t = Tracer::enabled();
+        t.complete("x", "job", PID_JOBS, 0, 0, 10, vec![]);
+        t.instant("y", "job", PID_JOBS, 0, 5, vec![]);
+        let first = t.take_records();
+        assert_eq!(first.len(), 2);
+        let second = t.take_records();
+        assert!(second.is_empty(), "second take must not re-yield records");
+        // Streaming tracers drain their ring the same way.
+        let mut s = Tracer::streaming(crate::stream::StreamConfig::default());
+        s.complete("x", "job", PID_JOBS, 0, 0, 10, vec![]);
+        assert_eq!(s.take_records().len(), 1);
+        assert!(s.take_records().is_empty());
+    }
+
+    #[test]
+    fn streaming_mode_wants_droop_events_and_reports_telemetry() {
+        let t = Tracer::streaming(crate::stream::StreamConfig::default());
+        assert!(t.is_enabled());
+        assert!(t.is_streaming());
+        assert!(t.wants_droop_events());
+        assert!(Tracer::enabled().telemetry().is_none());
+        t.droop(droop(2, 40));
+        assert_eq!(t.droops_total(), 1);
+        assert_eq!(t.len(), 2);
+        let stats = t.telemetry().expect("streaming tracers have stats");
+        assert_eq!(stats.records_seen, 2);
+        assert_eq!(stats.dropped_total(), 0);
+    }
+
+    #[test]
+    fn streaming_tracer_without_sink_exports_its_ring() {
+        let t = Tracer::streaming(crate::stream::StreamConfig::default());
+        t.complete("x", "job", PID_JOBS, 0, 0, 10, vec![]);
+        let batch = Tracer::enabled();
+        batch.complete("x", "job", PID_JOBS, 0, 0, 10, vec![]);
+        assert_eq!(t.to_chrome_json(), batch.to_chrome_json());
     }
 }

@@ -47,13 +47,28 @@ impl PerfCounters {
         self.committed += committed;
     }
 
+    /// Reconstructs a snapshot from raw parts — the inverse of reading
+    /// the accessors. Used by triggered capture to rebuild the counter
+    /// state at a past cycle from the current state minus windowed
+    /// increments, instead of ring-buffering whole snapshots per cycle.
+    pub fn from_parts(
+        cycles: u64,
+        stall_cycles: u64,
+        committed: f64,
+        event_counts: [u64; 5],
+    ) -> Self {
+        Self {
+            cycles,
+            stall_cycles,
+            committed,
+            event_counts,
+        }
+    }
+
     /// Records the occurrence of a stall event.
+    #[inline]
     pub fn on_event(&mut self, e: StallEvent) {
-        let idx = StallEvent::ALL
-            .iter()
-            .position(|&x| x == e)
-            .expect("event in ALL");
-        self.event_counts[idx] += 1;
+        self.event_counts[e.index()] += 1;
     }
 
     /// Total elapsed cycles.
@@ -91,12 +106,17 @@ impl PerfCounters {
     }
 
     /// Number of occurrences of `e`.
+    #[inline]
     pub fn event_count(&self, e: StallEvent) -> u64 {
-        let idx = StallEvent::ALL
-            .iter()
-            .position(|&x| x == e)
-            .expect("event in ALL");
-        self.event_counts[idx]
+        self.event_counts[e.index()]
+    }
+
+    /// Raw per-event counts, in [`StallEvent::ALL`] order. Lets
+    /// per-cycle consumers diff all five events with one array compare
+    /// instead of five keyed lookups.
+    #[inline]
+    pub fn event_counts_raw(&self) -> [u64; 5] {
+        self.event_counts
     }
 
     /// The counter deltas accumulated since `earlier` was captured —
@@ -210,6 +230,23 @@ mod tests {
         // zero everywhere instead of wrapping.
         let d = PerfCounters::new().delta_since(&later);
         assert_eq!(d, PerfCounters::new());
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_accessors() {
+        let mut live = PerfCounters::new();
+        for i in 0..40 {
+            live.on_cycle(i % 3 == 0, 1.25);
+        }
+        live.on_event(StallEvent::TlbMiss);
+        live.on_event(StallEvent::Exception);
+        let rebuilt = PerfCounters::from_parts(
+            live.cycles(),
+            live.stall_cycles(),
+            live.instructions(),
+            live.event_counts_raw(),
+        );
+        assert_eq!(rebuilt, live);
     }
 
     #[test]

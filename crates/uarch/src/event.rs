@@ -37,6 +37,20 @@ impl StallEvent {
         Self::Exception,
     ];
 
+    /// This event's position in [`StallEvent::ALL`] — the index of its
+    /// slot in raw per-event count arrays. Constant-folds to a plain
+    /// integer, so hot counter paths can index instead of scanning.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::L1Miss => 0,
+            Self::L2Miss => 1,
+            Self::TlbMiss => 2,
+            Self::BranchMispredict => 3,
+            Self::Exception => 4,
+        }
+    }
+
     /// Short label used in the paper's figures (L1, L2, TLB, BR, EXCP).
     pub fn label(self) -> &'static str {
         match self {
@@ -191,6 +205,13 @@ mod tests {
     fn labels_match_paper() {
         let labels: Vec<&str> = StallEvent::ALL.iter().map(|e| e.label()).collect();
         assert_eq!(labels, ["L1", "L2", "TLB", "BR", "EXCP"]);
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, e) in StallEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
     }
 
     #[test]
