@@ -55,6 +55,10 @@ grep -q 'alerts_total{rule="droop_rate_anomaly",severity="warning"}' \
 grep -q 'alerts_total{rule="recovery_budget_burn",severity="critical"}' \
     target/ci_monitor_demo.out
 grep -q 'monitor_droop_rate_per_kilocycle' target/ci_monitor_demo.out
+# Exit-code contract: the paging alert resolved before shutdown, so
+# the demo's verdict (shared definition with /healthz) must be OK —
+# a FIRING verdict would have exited nonzero above.
+grep -q 'health verdict: OK' target/ci_monitor_demo.out
 
 echo "== streaming soak (capped-memory telemetry gate) =="
 # The demo pushes >=10x Full-mode record volume through a 512-slot
@@ -89,6 +93,24 @@ grep -q '"streaming":' BENCH_serve.json
 grep -q '"full_mode_peak_records":' BENCH_serve.json
 grep -q '"streaming_peak_ring_occupancy":' BENCH_serve.json
 grep -q '"streaming_dropped_total": 0' BENCH_serve.json
+grep -q '"obs_scrape_under_load":' BENCH_serve.json
+
+echo "== obs demo (live endpoints over loopback HTTP) =="
+# The demo attaches the embedded scrape server to the monitored
+# degradation run on an ephemeral loopback port and probes it with the
+# library's own std-TcpStream client (no curl in the container). It
+# asserts internally that /healthz flips 200 -> 503 -> 200 through the
+# injected burst, that all six endpoints answer with parseable
+# payloads, and that malformed/unknown requests get 400/404 without
+# killing the accept loop. Afterwards hold it to the printed markers.
+cargo run -q --example obs_demo --release | tee target/ci_obs_demo.out
+grep -q 'obs: listening on http://127\.0\.0\.1:' target/ci_obs_demo.out
+grep -q '/healthz flipped 200 -> 503 -> 200' target/ci_obs_demo.out
+grep -q 'status schema vsmooth-obs-v1' target/ci_obs_demo.out
+grep -q 'GET /profile -> 200' target/ci_obs_demo.out
+grep -q 'malformed request -> 400' target/ci_obs_demo.out
+grep -q 'unknown path -> 404' target/ci_obs_demo.out
+grep -q 'obs demo complete' target/ci_obs_demo.out
 
 echo "== fleet demo (checkpoint/resume + artifact validation) =="
 # The demo runs a seeded 1000-run heterogeneous sweep twice: once

@@ -22,7 +22,12 @@
 //! pass through the bounded-memory streaming pipeline instead of the
 //! in-memory buffer, writing the Chrome trace incrementally and
 //! printing the pipeline's own telemetry (ring occupancy, bytes
-//! flushed, typed drops).
+//! flushed, typed drops). `--serve-http <addr>` runs one more
+//! monitored pass with live operational endpoints: an embedded scrape
+//! server (bind to `127.0.0.1:0` for an ephemeral port) serves
+//! `/metrics`, `/healthz`, `/readyz`, `/status`, `/trace/recent` and
+//! `/profile` over loopback HTTP while the jobs execute, then the
+//! binary self-probes every endpoint and reports the statuses.
 
 use vsmooth::report;
 use vsmooth::VsmoothError;
@@ -34,6 +39,7 @@ fn main() -> Result<(), VsmoothError> {
     let mut monitor_out: Option<String> = None;
     let mut fleet_out: Option<String> = None;
     let mut stream_trace: Option<String> = None;
+    let mut serve_http: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,12 +49,13 @@ fn main() -> Result<(), VsmoothError> {
             "--monitor-out" => monitor_out = args.next(),
             "--fleet-out" => fleet_out = args.next(),
             "--stream-trace" => stream_trace = args.next(),
+            "--serve-http" => serve_http = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: repro [--trace-out <path>] [--metrics-out <path>] \
                      [--profile-out <path>] [--monitor-out <path>] [--fleet-out <path>] \
-                     [--stream-trace <path>]"
+                     [--stream-trace <path>] [--serve-http <addr>]"
                 );
                 std::process::exit(2);
             }
@@ -227,6 +234,36 @@ fn main() -> Result<(), VsmoothError> {
             stats.sink.flushes,
             shape.spans,
             shape.droops
+        );
+    }
+
+    if let Some(addr) = &serve_http {
+        // One more monitored pass, this time observable from outside:
+        // the coordinator publishes into the server's hub each epoch
+        // and the endpoints serve whatever snapshot is current.
+        use vsmooth::obs::{http_get, ObsConfig, ObsServer};
+        let server = ObsServer::bind(addr.as_str()).expect("bind obs server");
+        let local = server.local_addr();
+        println!("obs: listening on http://{local}/ for one monitored pass");
+        let obs = ObsConfig::new(server.hub());
+        let (observed, health) =
+            lab.serve_observed(2010, 120, &vsmooth::trace::Tracer::disabled(), obs)?;
+        for path in [
+            "/metrics",
+            "/healthz",
+            "/readyz",
+            "/status",
+            "/trace/recent?n=8",
+            "/profile",
+        ] {
+            let resp = http_get(local, path).expect("self-probe endpoint");
+            println!("  GET {path} -> {}", resp.status);
+        }
+        server.shutdown();
+        println!(
+            "observed pass: {} jobs completed, health verdict {}",
+            observed.jobs_completed,
+            health.verdict()
         );
     }
 

@@ -12,10 +12,13 @@
 //! wall-clock milliseconds and simulated kilocycles per second over
 //! `ROUNDS` runs of an identical job stream, plus the median per-pair
 //! overhead ratio of each armed instrument over interleaved plain runs
-//! (including the bounded-memory streaming trace pipeline), a telemetry-memory
-//! comparison of Full-mode buffering vs the streaming ring, plus a
-//! fleet-sweep throughput row (runs per second with and without
-//! checkpointing to disk).
+//! (including the bounded-memory streaming trace pipeline and an
+//! `obs_scrape_under_load` row: a monitored run publishing into a live
+//! scrape server hammered by a loopback `/metrics` client, against the
+//! same monitored run unobserved), a telemetry-memory comparison of
+//! Full-mode buffering vs the streaming ring, plus a fleet-sweep
+//! throughput row (runs per second with and without checkpointing to
+//! disk).
 
 use std::time::Instant;
 
@@ -95,7 +98,7 @@ fn main() {
         println!("{name} overhead: {ratio:.2}x");
         (name.to_string(), ratio)
     };
-    let ratios = [
+    let mut ratios = vec![
         overhead("traced", &|| {
             let tracer = Tracer::enabled();
             service
@@ -135,6 +138,87 @@ fn main() {
                 .expect("flush stream");
         }),
     ];
+
+    // Scrape-under-load overhead: the monitored run with a live scrape
+    // server attached and a loopback client polling `/metrics` at a
+    // fixed 20 ms cadence (50 Hz — orders of magnitude hotter than any
+    // real scrape interval), against the same monitored run unobserved
+    // — interleaved pairs again, but with the *monitored* run as the
+    // denominator so the row isolates the obs cost alone. The cadence
+    // matters on small hosts: an unthrottled busy-loop client would
+    // measure CPU starvation, not serving cost.
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use vsmooth::obs::{http_get, ObsConfig, ObsServer};
+
+        let server = ObsServer::bind("127.0.0.1:0").expect("bind obs server");
+        let addr = server.local_addr();
+        let mut obs_cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+        obs_cfg.slice_cycles = SLICE;
+        let mut obs_opts = ObsConfig::new(server.hub());
+        // Publishing every epoch would re-snapshot the metrics registry
+        // hundreds of times in a ~50 ms run; every 64 epochs keeps
+        // scrapes ~10 ms stale on this deliberately hot run while
+        // amortizing the snapshot clone and letting the server's
+        // per-snapshot render cache hit between publishes (see
+        // `ObsConfig::publish_every`).
+        obs_opts.publish_every = 64;
+        obs_cfg.obs = Some(obs_opts);
+        let obs_service = Service::new(obs_cfg).expect("valid config");
+        let monitored = |svc: &Service| {
+            svc.run_monitored(
+                &jobs,
+                &OnlineDroop,
+                1,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .expect("service run");
+        };
+        monitored(&obs_service); // warm up
+                                 // Four times the usual pair count, and a ratio of per-side
+                                 // *minimum* wall times rather than a median of pair ratios:
+                                 // this row chases a much smaller effect (a few percent)
+                                 // than the instrument rows, and on a one-core host every
+                                 // preemption only ever adds time, so the minimum is the
+                                 // least-noise estimate of each side's true cost.
+        let obs_rounds = ROUNDS * 4;
+        let mut plain_times = Vec::with_capacity(obs_rounds);
+        let mut obs_times = Vec::with_capacity(obs_rounds);
+        let mut scrapes_total = 0u64;
+        for _ in 0..obs_rounds {
+            let start = Instant::now();
+            monitored(&service);
+            plain_times.push(start.elapsed().as_secs_f64().max(1e-9));
+
+            let stop = Arc::new(AtomicBool::new(false));
+            let scraper = {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scrapes = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if http_get(addr, "/metrics").is_ok() {
+                            scrapes += 1;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    scrapes
+                })
+            };
+            let start = Instant::now();
+            monitored(&obs_service);
+            obs_times.push(start.elapsed().as_secs_f64().max(1e-9));
+            stop.store(true, Ordering::Relaxed);
+            scrapes_total += scraper.join().expect("scraper thread");
+        }
+        server.shutdown();
+        let best = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = best(&obs_times) / best(&plain_times);
+        assert!(scrapes_total > 0, "scrape client never got a response");
+        println!("obs_scrape_under_load overhead: {ratio:.2}x ({scrapes_total} scrapes served)");
+        ratios.push(("obs_scrape_under_load".to_string(), ratio));
+    }
 
     // Peak telemetry memory: Full mode buffers every record until the
     // run ends; the streaming pipeline's working set is its fixed ring.

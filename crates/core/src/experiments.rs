@@ -619,6 +619,47 @@ impl Lab {
             .map_err(VsmoothError::from)
     }
 
+    /// The run behind `repro --serve-http`: the monitored service run
+    /// of [`Lab::serve_monitored`] with live operational endpoints
+    /// attached — the coordinator publishes an
+    /// [`ObsSnapshot`](vsmooth_obs::ObsSnapshot) into `obs.hub` every
+    /// `obs.publish_every` epochs, so an
+    /// [`ObsServer`](vsmooth_obs::ObsServer) holding the same hub can
+    /// serve `/metrics`, `/healthz`, `/status`, `/trace/recent` and
+    /// `/profile` while jobs execute. Publishing is strictly
+    /// observational: the returned reports are byte-identical to the
+    /// un-observed monitored run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service errors.
+    pub fn serve_observed(
+        &self,
+        seed: u64,
+        jobs: usize,
+        tracer: &vsmooth_trace::Tracer,
+        obs: vsmooth_obs::ObsConfig,
+    ) -> Result<(vsmooth_serve::ServiceReport, vsmooth_monitor::HealthReport), VsmoothError> {
+        use vsmooth_sched::OnlineDroop;
+        use vsmooth_serve::{synthetic_jobs, Service, ServiceConfig};
+
+        let slice = (self.cfg.fidelity.cycles_per_interval() / 8).clamp(500, 4_000);
+        let mut cfg = ServiceConfig::new(self.chip(DecapConfig::proc100()));
+        cfg.slice_cycles = slice;
+        cfg.obs = Some(obs);
+        let service = Service::new(cfg)?;
+        let stream = synthetic_jobs(seed, jobs, slice);
+        service
+            .run_monitored(
+                &stream,
+                &OnlineDroop,
+                self.cfg.threads,
+                tracer,
+                vsmooth_monitor::MonitorConfig::default(),
+            )
+            .map_err(VsmoothError::from)
+    }
+
     /// A seeded heterogeneous fleet sweep (see [`crate::fleet`]): the
     /// default variation axes (three nodes, three decap banks, two DVFS
     /// points) at the lab's fidelity, fanned out over the lab's

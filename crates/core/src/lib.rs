@@ -22,6 +22,9 @@
 //! * [`monitor`] — live health monitoring: streaming window
 //!   aggregators, EWMA+CUSUM anomaly detection, SLO/alert rules with
 //!   burn-rate budgets, and flight-recorder postmortems.
+//! * [`obs`] — live operational endpoints: an embedded loopback scrape
+//!   server (`/metrics`, `/healthz`, `/readyz`, `/status`,
+//!   `/trace/recent`, `/profile`) fed by a lock-light snapshot hub.
 //! * [`resilience`] — the typical-case design performance model and the
 //!   881-run measurement campaign.
 //! * [`fleet`] — heterogeneous fleet campaigns: per-chip silicon/DVFS
@@ -66,6 +69,9 @@ pub use vsmooth_fleet as fleet;
 /// Live health monitoring: windowed signals, anomaly detection,
 /// SLO/alert rules, flight-recorder postmortems.
 pub use vsmooth_monitor as monitor;
+/// Live operational endpoints: the embedded scrape server and the
+/// lock-light `TelemetryHub` snapshot exchange.
+pub use vsmooth_obs as obs;
 /// The power-delivery-network substrate.
 pub use vsmooth_pdn as pdn;
 /// Droop root-cause attribution over triggered waveform windows.

@@ -17,8 +17,9 @@ use crate::spec::{ChipVariant, FleetJob, FleetRun, FleetSpec};
 use crate::FleetError;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use vsmooth_chip::{run_pair, run_workload, ChipBatch, RunStats, PHASE_MARGIN_PCT};
+use vsmooth_obs::{FleetStatus, ObsSnapshot, TelemetryHub};
 use vsmooth_resilience::{measure_worst_case_margin, WorstCaseMargin};
 use vsmooth_stats::MetricsRegistry;
 use vsmooth_trace::{ArgValue, Tracer, PID_CAMPAIGN};
@@ -42,6 +43,7 @@ pub enum FleetOutcome {
 /// Executes a [`FleetSpec`].
 pub struct FleetCampaign {
     spec: FleetSpec,
+    hub: Option<Arc<TelemetryHub>>,
 }
 
 impl FleetCampaign {
@@ -52,12 +54,21 @@ impl FleetCampaign {
     /// [`FleetError::InvalidSpec`] for a malformed spec.
     pub fn new(spec: FleetSpec) -> Result<Self, FleetError> {
         spec.validate()?;
-        Ok(Self { spec })
+        Ok(Self { spec, hub: None })
     }
 
     /// The spec being run.
     pub fn spec(&self) -> &FleetSpec {
         &self.spec
+    }
+
+    /// Publishes live sweep progress into `hub` at every checkpoint
+    /// boundary: a `FleetStatus` (runs completed/total, checkpoint
+    /// age) plus progress gauges for `/metrics`. Publication happens
+    /// coordinator-side after the in-order merge, so attaching a hub
+    /// never changes the report or checkpoint bytes.
+    pub fn attach_hub(&mut self, hub: Arc<TelemetryHub>) {
+        self.hub = Some(hub);
     }
 
     /// Runs the whole sweep in memory (no checkpoint file).
@@ -214,6 +225,8 @@ impl FleetCampaign {
         }
         let batches = self.build_batches(&variants)?;
         let mut fresh = 0usize;
+        let mut saves = 0u64;
+        let mut since_save = 0usize;
         for chunk in pending.chunks(self.spec.checkpoint_every) {
             let n = chunk.len();
             let queue: Mutex<VecDeque<(usize, FleetRun)>> =
@@ -280,10 +293,14 @@ impl FleetCampaign {
                 }
                 ckpt.record(rec);
                 fresh += 1;
+                since_save += 1;
             }
             if let Some(path) = path {
                 ckpt.save(path)?;
+                saves += 1;
+                since_save = 0;
             }
+            self.publish_progress(ckpt, since_save, saves);
             if let Some(limit) = stop_after {
                 if fresh >= limit && !ckpt.is_complete() {
                     return Ok(());
@@ -291,6 +308,51 @@ impl FleetCampaign {
             }
         }
         Ok(())
+    }
+
+    /// Publishes one checkpoint-boundary snapshot into the attached
+    /// hub (no-op without one). The gauges live in a registry built
+    /// fresh per publish, so the sweep's own `MetricsRegistry` (if
+    /// any) stays untouched and thread-count-independent.
+    fn publish_progress(&self, ckpt: &Checkpoint, checkpoint_age_runs: usize, saves: u64) {
+        let Some(hub) = self.hub.as_ref() else {
+            return;
+        };
+        let completed = ckpt.completed();
+        let total = ckpt.total_runs;
+        let m = MetricsRegistry::new();
+        m.describe("fleet_runs_completed", "Sweep runs recorded so far.");
+        m.describe("fleet_runs_planned", "Total runs in the campaign.");
+        m.describe(
+            "fleet_progress_ratio",
+            "Completed fraction of the campaign, 0 through 1.",
+        );
+        m.describe(
+            "fleet_checkpoint_age_runs",
+            "Runs completed since the last durable checkpoint write.",
+        );
+        m.gauge_set("fleet_runs_completed", completed as f64);
+        m.gauge_set("fleet_runs_planned", total as f64);
+        m.gauge_set(
+            "fleet_progress_ratio",
+            if total == 0 {
+                0.0
+            } else {
+                completed as f64 / total as f64
+            },
+        );
+        m.gauge_set("fleet_checkpoint_age_runs", checkpoint_age_runs as f64);
+        hub.publish(ObsSnapshot {
+            metrics: m.snapshot(),
+            fleet: Some(FleetStatus {
+                runs_completed: completed,
+                runs_total: total,
+                chips: self.spec.chips,
+                checkpoint_age_runs,
+                checkpoints_saved: saves,
+            }),
+            ..ObsSnapshot::default()
+        });
     }
 
     /// Probes each chip's worst-case margin and assembles the final
@@ -507,6 +569,46 @@ mod tests {
         assert_eq!(stats.dropped_total(), 0);
         assert!(stats.peak_ring_occupancy < stats.ring_capacity);
         assert_eq!(stats.records_written, stats.records_seen);
+    }
+
+    #[test]
+    fn attached_hub_sees_checkpoint_boundary_progress() {
+        let hub = Arc::new(TelemetryHub::new());
+        let mut campaign = FleetCampaign::new(small_spec(67)).unwrap();
+        campaign.attach_hub(Arc::clone(&hub));
+        let report = campaign.run(2).unwrap();
+
+        // 24 runs in chunks of 5 -> 5 boundary publishes; the last one
+        // reports a complete sweep.
+        assert_eq!(hub.publishes(), 5);
+        let snap = hub.latest();
+        let fleet = snap.fleet.as_ref().expect("fleet status");
+        assert_eq!(fleet.runs_completed, 24);
+        assert_eq!(fleet.runs_total, 24);
+        assert_eq!(fleet.chips, 4);
+        // In-memory run: no durable checkpoint, so age grows unbounded.
+        assert_eq!(fleet.checkpoints_saved, 0);
+        assert_eq!(fleet.checkpoint_age_runs, 24);
+        assert_eq!(snap.metrics.gauge("fleet_runs_completed"), Some(24.0));
+        assert_eq!(snap.metrics.gauge("fleet_progress_ratio"), Some(1.0));
+
+        // And the hub never perturbs the deterministic report.
+        let plain = FleetCampaign::new(small_spec(67)).unwrap().run(2).unwrap();
+        assert_eq!(report.to_json(), plain.to_json());
+    }
+
+    #[test]
+    fn checkpointed_sweep_reports_zero_age_after_each_save() {
+        let path = tmp("hub-age");
+        let _ = fs::remove_file(&path);
+        let hub = Arc::new(TelemetryHub::new());
+        let mut campaign = FleetCampaign::new(small_spec(71)).unwrap();
+        campaign.attach_hub(Arc::clone(&hub));
+        campaign.run_checkpointed(2, &path, None).unwrap();
+        let fleet = hub.latest().fleet.clone().expect("fleet status");
+        assert_eq!(fleet.checkpoint_age_runs, 0);
+        assert_eq!(fleet.checkpoints_saved, 5);
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

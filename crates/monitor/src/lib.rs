@@ -75,6 +75,6 @@ pub use recorder::{
     validate_postmortem, FlightRecorder, PostmortemBundle, PostmortemShape, RecorderConfig,
     SliceRecord, POSTMORTEM_SCHEMA,
 };
-pub use report::{HealthReport, HealthSummary, HEALTH_SCHEMA};
+pub use report::{verdict, HealthReport, HealthStatus, HealthSummary, HEALTH_SCHEMA};
 pub use slo::{Alert, AlertPhase, RuleKind, Severity, Signal, SloRule};
 pub use window::{EpochSample, SlidingWindow, WindowSnapshot};

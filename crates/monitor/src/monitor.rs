@@ -12,8 +12,8 @@
 
 use crate::detector::CusumConfig;
 use crate::recorder::{FlightRecorder, PostmortemBundle, RecorderConfig, SliceRecord};
-use crate::report::HealthReport;
-use crate::slo::{Alert, RuleEvent, RuleState, Severity, Signal, SloRule};
+use crate::report::{HealthReport, HealthStatus};
+use crate::slo::{Alert, AlertPhase, RuleEvent, RuleState, Severity, Signal, SloRule};
 use crate::window::{EpochSample, SlidingWindow, WindowSnapshot};
 use vsmooth_trace::DroopEvent;
 
@@ -145,6 +145,28 @@ impl Monitor {
     /// The most recent window snapshot.
     pub fn last_snapshot(&self) -> &WindowSnapshot {
         &self.last
+    }
+
+    /// A cheap live health view for scrape endpoints: rule phases,
+    /// alert tallies, and the latest window — no alert or postmortem
+    /// clones, so the coordinator can call it every epoch.
+    pub fn status(&self) -> HealthStatus {
+        HealthStatus {
+            epochs: self.epochs,
+            alerts_fired: self.alerts.len(),
+            alerts_resolved: self
+                .alerts
+                .iter()
+                .filter(|a| a.resolved_at_cycle.is_some())
+                .count(),
+            firing: self
+                .rules
+                .iter()
+                .filter(|r| r.phase == AlertPhase::Firing)
+                .map(|r| (r.rule.name.clone(), r.rule.severity))
+                .collect(),
+            last: self.last.clone(),
+        }
     }
 
     /// Freezes the monitor into its final [`HealthReport`].

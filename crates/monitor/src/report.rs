@@ -4,7 +4,7 @@
 
 use crate::json::{escape_json, json_f64};
 use crate::recorder::{alert_json, PostmortemBundle};
-use crate::slo::{Alert, AlertPhase};
+use crate::slo::{Alert, AlertPhase, Severity};
 use crate::window::WindowSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -41,6 +41,8 @@ pub struct HealthSummary {
     pub alerts_resolved: usize,
     /// Postmortem bundles sealed.
     pub postmortems: usize,
+    /// Paging-severity alerts still firing when the run ended.
+    pub pages_firing: usize,
     /// Final windowed droop rate, events per kilocycle.
     pub droop_rate_per_kilocycle: f64,
     /// Final windowed mean voltage margin, percent.
@@ -49,7 +51,96 @@ pub struct HealthSummary {
     pub throttle_fraction: f64,
 }
 
+/// A cheap live health view taken from a running [`Monitor`] without
+/// cloning alerts or postmortems: current rule phases, alert tallies,
+/// and the latest window snapshot. This is what the `/healthz`
+/// endpoint renders between epochs — `healthy()` applies the same
+/// paging-severity definition as [`HealthReport::pages_firing`].
+///
+/// [`Monitor`]: crate::Monitor
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthStatus {
+    /// Epochs evaluated so far.
+    pub epochs: u64,
+    /// Alerts fired so far.
+    pub alerts_fired: usize,
+    /// Of those, alerts already resolved.
+    pub alerts_resolved: usize,
+    /// Rules currently in the firing phase, in declaration order.
+    pub firing: Vec<(String, Severity)>,
+    /// The most recent window snapshot.
+    pub last: WindowSnapshot,
+}
+
+impl HealthStatus {
+    /// Firing rules at paging severity.
+    pub fn pages_firing(&self) -> usize {
+        self.firing.iter().filter(|(_, s)| s.pages()).count()
+    }
+
+    /// True when no paging-severity alert is firing.
+    pub fn healthy(&self) -> bool {
+        self.pages_firing() == 0
+    }
+
+    /// `"OK"` or `"FIRING"` — the marker CI greps and `/healthz` maps
+    /// to 200/503.
+    pub fn verdict(&self) -> &'static str {
+        verdict(self.pages_firing())
+    }
+
+    /// Plain-text body for `/healthz`: one verdict line plus the
+    /// firing rules and windowed signals behind it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} ({} epochs, {} alerts fired, {} resolved, {} paging)",
+            self.verdict(),
+            self.epochs,
+            self.alerts_fired,
+            self.alerts_resolved,
+            self.pages_firing(),
+        );
+        for (rule, severity) in &self.firing {
+            let _ = writeln!(out, "firing [{}] {rule}", severity.label());
+        }
+        let _ = writeln!(
+            out,
+            "window: droop_rate={:.4}/kcycle mean_margin={:.4}% min_margin={:.4}% throttle={:.4}",
+            self.last.droop_rate_per_kilocycle,
+            self.last.mean_margin_pct,
+            self.last.min_margin_pct,
+            self.last.throttle_fraction,
+        );
+        out
+    }
+}
+
+/// The shared health verdict: `"OK"` when no paging-severity alert is
+/// firing, `"FIRING"` otherwise.
+pub fn verdict(pages_firing: usize) -> &'static str {
+    if pages_firing == 0 {
+        "OK"
+    } else {
+        "FIRING"
+    }
+}
+
 impl HealthReport {
+    /// Paging-severity alerts still unresolved at the end of the run.
+    pub fn pages_firing(&self) -> usize {
+        self.alerts
+            .iter()
+            .filter(|a| a.severity.pages() && a.resolved_at_cycle.is_none())
+            .count()
+    }
+
+    /// `"OK"` or `"FIRING"`, per the shared [`verdict`] definition.
+    pub fn verdict(&self) -> &'static str {
+        verdict(self.pages_firing())
+    }
+
     /// The compact digest for embedding in service reports.
     pub fn summary(&self) -> HealthSummary {
         HealthSummary {
@@ -61,6 +152,7 @@ impl HealthReport {
                 .filter(|a| a.resolved_at_cycle.is_some())
                 .count(),
             postmortems: self.postmortems.len(),
+            pages_firing: self.pages_firing(),
             droop_rate_per_kilocycle: self.last.droop_rate_per_kilocycle,
             mean_margin_pct: self.last.mean_margin_pct,
             throttle_fraction: self.last.throttle_fraction,
@@ -156,7 +248,12 @@ impl HealthReport {
     /// Human-readable health digest, deterministic for equal reports.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "health: {} epochs evaluated", self.epochs);
+        let firing = if self.pages_firing() > 0 {
+            " [FIRING]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "health: {} epochs evaluated{firing}", self.epochs);
         let _ = writeln!(
             out,
             "  window: droop_rate={:.4}/kcycle mean_margin={:.4}% min_margin={:.4}% throttle={:.4} queue={:.2}",
@@ -299,6 +396,64 @@ mod tests {
         assert_eq!(snap.counter("monitor_postmortems_total"), 1);
         assert_eq!(snap.gauge("monitor_throttle_fraction"), Some(0.3));
         assert!(snap.render_prometheus().contains("alerts_total"));
+    }
+
+    #[test]
+    fn unresolved_paging_alert_flips_the_verdict() {
+        let mut report = report_with_alert();
+        // A resolved warning neither pages nor marks the render.
+        assert_eq!(report.pages_firing(), 0);
+        assert_eq!(report.verdict(), "OK");
+        assert!(!report.render().contains("[FIRING]"));
+        assert_eq!(report.summary().pages_firing, 0);
+
+        // An unresolved critical alert is the one shared definition
+        // of unhealthy: summary, render marker, and verdict all flip.
+        report.alerts.push(Alert {
+            rule: "recovery_budget_burn".into(),
+            severity: Severity::Critical,
+            fired_at_cycle: 9_000,
+            resolved_at_cycle: None,
+            window: report.last.clone(),
+        });
+        assert_eq!(report.pages_firing(), 1);
+        assert_eq!(report.verdict(), "FIRING");
+        assert!(report.render().contains("[FIRING]"));
+        assert_eq!(report.summary().pages_firing, 1);
+
+        // An unresolved *warning* does not page.
+        report.alerts.last_mut().unwrap().severity = Severity::Warning;
+        assert_eq!(report.pages_firing(), 0);
+        assert_eq!(report.verdict(), "OK");
+    }
+
+    #[test]
+    fn health_status_applies_the_same_paging_definition() {
+        let status = HealthStatus {
+            epochs: 12,
+            alerts_fired: 2,
+            alerts_resolved: 1,
+            firing: vec![("droop_rate_anomaly".into(), Severity::Warning)],
+            last: WindowSnapshot::default(),
+        };
+        assert!(status.healthy());
+        assert_eq!(status.verdict(), "OK");
+        assert!(status.render().starts_with("OK"));
+
+        let paging = HealthStatus {
+            firing: vec![
+                ("droop_rate_anomaly".into(), Severity::Warning),
+                ("recovery_budget_burn".into(), Severity::Critical),
+            ],
+            ..status
+        };
+        assert_eq!(paging.pages_firing(), 1);
+        assert!(!paging.healthy());
+        assert_eq!(paging.verdict(), "FIRING");
+        assert!(paging.render().starts_with("FIRING"));
+        assert!(paging
+            .render()
+            .contains("firing [critical] recovery_budget_burn"));
     }
 
     #[test]

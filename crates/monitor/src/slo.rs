@@ -36,6 +36,14 @@ impl Severity {
             Severity::Critical => "critical",
         }
     }
+
+    /// Whether alerts at this severity page an operator. This is the
+    /// single definition of "unhealthy" shared by `/healthz` (503),
+    /// `ServiceReport`'s FIRING marker, and `monitor_demo`'s exit
+    /// code: a run is unhealthy iff a paging-severity alert is firing.
+    pub fn pages(&self) -> bool {
+        matches!(self, Severity::Critical)
+    }
 }
 
 impl fmt::Display for Severity {

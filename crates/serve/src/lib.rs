@@ -50,6 +50,9 @@ pub mod telemetry;
 pub use job::{synthetic_jobs, CompletedJob, JobSpec};
 pub use service::{Service, ServiceConfig, ServiceReport};
 pub use telemetry::{TelemetryBook, WorkloadProfile};
+// Re-exported so callers can wire `ServiceConfig::obs` without naming
+// the obs crate directly.
+pub use vsmooth_obs::{ObsConfig, ObsServer, ObsSnapshot, TelemetryHub};
 
 use std::error::Error;
 use std::fmt;

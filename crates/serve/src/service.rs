@@ -22,7 +22,8 @@ use crate::telemetry::TelemetryBook;
 use crate::ServeError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
     Chip, ChipConfig, ChipError, ChipSession, DroopWindow, SliceStats, WindowConfig,
@@ -31,6 +32,7 @@ use vsmooth_chip::{
 use vsmooth_monitor::{
     EpochSample, HealthReport, HealthSummary, Monitor, MonitorConfig, SliceRecord,
 };
+use vsmooth_obs::{ObsConfig, ObsSnapshot, ServiceStatus};
 use vsmooth_profile::{emit_window_span, ProfileConfig, ProfileReport, Profiler};
 use vsmooth_sched::PairPolicy;
 use vsmooth_stats::{MetricsRegistry, MetricsSnapshot};
@@ -56,6 +58,13 @@ pub struct ServiceConfig {
     /// ready queue past this many waiting jobs. `None` (the default)
     /// leaves the queue unbounded, preserving historical behavior.
     pub queue_capacity: Option<usize>,
+    /// Live-observation wiring: when set, the coordinator publishes
+    /// [`ObsSnapshot`]s into the configured hub at the configured
+    /// epoch cadence, feeding the `vsmooth-obs` scrape endpoints.
+    /// Publishing is strictly observational — the report, trace and
+    /// health artifacts of a run are byte-identical with or without
+    /// it (enforced by test).
+    pub obs: Option<ObsConfig>,
 }
 
 impl ServiceConfig {
@@ -68,6 +77,7 @@ impl ServiceConfig {
             slice_cycles: 2_000,
             pairing_window: 16,
             queue_capacity: None,
+            obs: None,
         }
     }
 }
@@ -213,8 +223,12 @@ impl ServiceReport {
             self.warmed_profiles
         ));
         if let Some(h) = &self.health {
+            // The FIRING marker uses the same paging-severity
+            // definition as /healthz's 503 and monitor_demo's exit
+            // code (see `vsmooth_monitor::Severity::pages`).
+            let firing = if h.pages_firing > 0 { " [FIRING]" } else { "" };
             out.push_str(&format!(
-                "health      {} epochs, {} alerts ({} resolved), {} postmortems\n",
+                "health      {} epochs, {} alerts ({} resolved), {} postmortems{firing}\n",
                 h.epochs, h.alerts_fired, h.alerts_resolved, h.postmortems
             ));
         }
@@ -380,6 +394,38 @@ impl Service {
             }
         }
         let metrics = MetricsRegistry::new();
+        metrics.describe(
+            "serve_jobs_admitted_total",
+            "Jobs admitted from the submitted stream into the ready queue.",
+        );
+        metrics.describe("serve_jobs_completed_total", "Jobs run to completion.");
+        metrics.describe(
+            "serve_droops_total",
+            "Droop emergencies at the phase margin, summed over the pool.",
+        );
+        metrics.describe(
+            "droops_total",
+            "Droop emergencies observed, per pairing policy.",
+        );
+        metrics.describe(
+            "queue_wait_kcycles",
+            "Admission-queue wait per completed job, kilocycles.",
+        );
+        let obs = self.cfg.obs.as_ref();
+        let publish_every = obs.map_or(1, |o| o.publish_every.max(1));
+        let recent_cap = obs.map_or(0, |o| o.recent_droops.max(1));
+        // The /trace/recent ring: an independent coordinator-side copy
+        // of recent crossings. The tracer's own ring is never drained
+        // here — `take_records(&mut self)` stays exporter-owned.
+        let mut recent: Option<VecDeque<DroopEvent>> =
+            obs.map(|_| VecDeque::with_capacity(recent_cap.min(1_024)));
+        // Per-worker slice tallies for /status. Work stealing makes
+        // the split nondeterministic, so they go only into published
+        // snapshots, never into the deterministic report.
+        let worker_slices: Vec<AtomicU64> =
+            (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect();
+        let mut admitted = 0u64;
+        let mut last_profile: Option<Arc<String>> = None;
         let mut slots = self.build_pool()?;
         if tracer.is_enabled() {
             tracer.process_name(PID_JOBS, "jobs");
@@ -414,7 +460,7 @@ impl Service {
             for slot in &mut slots {
                 slot.session.enable_profiling(margin, window);
             }
-        } else if tracer.wants_droop_events() || monitor.is_some() {
+        } else if tracer.wants_droop_events() || monitor.is_some() || obs.is_some() {
             for slot in &mut slots {
                 slot.session.capture_droops(margin);
             }
@@ -446,6 +492,7 @@ impl Service {
                     }
                 }
                 metrics.counter_add("serve_jobs_admitted_total", 1);
+                admitted += 1;
                 if tracer.is_enabled() {
                     tracer.instant(
                         "admit",
@@ -476,7 +523,14 @@ impl Service {
                 .iter()
                 .map(|&i| slots[i].occupied() as u64)
                 .sum::<u64>();
-            let slices = run_epoch(&mut slots, &busy, workers, self.cfg.slice_cycles, &metrics)?;
+            let slices = run_epoch(
+                &mut slots,
+                &busy,
+                workers,
+                self.cfg.slice_cycles,
+                &metrics,
+                &worker_slices,
+            )?;
 
             // Coordinator merge, strictly in chip-index order. Trace
             // records and float observations happen only here, so the
@@ -513,7 +567,11 @@ impl Service {
                         );
                     }
                 }
-                if tracer.wants_droop_events() || profiler.is_some() || monitor.is_some() {
+                if tracer.wants_droop_events()
+                    || profiler.is_some()
+                    || monitor.is_some()
+                    || obs.is_some()
+                {
                     let workloads: Vec<String> = slot
                         .cores
                         .iter()
@@ -525,7 +583,7 @@ impl Service {
                     // window of the virtual clock.
                     let slice_start = slot.session.measured_cycles() - slice.cycles;
                     let crossings = slot.session.take_droop_crossings();
-                    if tracer.wants_droop_events() || monitor.is_some() {
+                    if tracer.wants_droop_events() || monitor.is_some() || obs.is_some() {
                         for crossing in &crossings {
                             let event = DroopEvent {
                                 chip: chip_idx,
@@ -535,14 +593,22 @@ impl Service {
                                 workloads: workloads.clone(),
                                 phase: format!("epoch{epochs}"),
                             };
-                            match monitor.as_deref_mut() {
-                                Some(m) => {
-                                    if tracer.wants_droop_events() {
-                                        tracer.droop(event.clone());
-                                    }
+                            if let Some(ring) = recent.as_mut() {
+                                if ring.len() == recent_cap {
+                                    ring.pop_front();
+                                }
+                                ring.push_back(event.clone());
+                            }
+                            match (monitor.as_deref_mut(), tracer.wants_droop_events()) {
+                                (Some(m), true) => {
+                                    tracer.droop(event.clone());
                                     m.on_droop(event);
                                 }
-                                None => tracer.droop(event),
+                                (Some(m), false) => m.on_droop(event),
+                                (None, true) => tracer.droop(event),
+                                // Obs-only run: the ring copy above was
+                                // the sole consumer.
+                                (None, false) => {}
                             }
                         }
                     }
@@ -625,6 +691,44 @@ impl Service {
             }
             now += self.cfg.slice_cycles;
             epochs += 1;
+            if let Some(oc) = obs {
+                if epochs.is_multiple_of(publish_every) {
+                    if let Some(p) = profiler.as_deref() {
+                        // Refresh /profile at publish cadence, not per
+                        // epoch: report assembly is the expensive part.
+                        last_profile = Some(Arc::new(p.report().to_json()));
+                    }
+                    let status = ServiceStatus {
+                        epoch: epochs,
+                        virtual_cycles: now,
+                        queue_depth: ready.len(),
+                        running_jobs: slots.iter().map(ChipSlot::occupied).sum(),
+                        jobs_submitted: jobs.len(),
+                        jobs_admitted: admitted,
+                        jobs_completed: completed.len() as u64,
+                        droops,
+                        worker_slices: worker_slices
+                            .iter()
+                            .map(|w| w.load(Ordering::Relaxed))
+                            .collect(),
+                        done: false,
+                    };
+                    oc.hub.publish(ObsSnapshot {
+                        metrics: metrics.snapshot(),
+                        health: monitor.as_deref().map(Monitor::status),
+                        service: Some(status),
+                        fleet: None,
+                        recent_droops: recent.iter().flatten().cloned().collect(),
+                        profile_json: last_profile.clone(),
+                    });
+                    if let Some(hook) = &oc.on_publish {
+                        hook(&oc.hub.latest());
+                    }
+                }
+                if let Some(pace) = oc.pace {
+                    std::thread::sleep(pace);
+                }
+            }
         }
 
         if let Some(p) = profiler.as_deref_mut() {
@@ -660,11 +764,17 @@ impl Service {
         };
         metrics.gauge_set("serve_chip_utilization", utilization);
         metrics.gauge_set("serve_warmed_profiles", book.warmed() as f64);
-        if let Some(p) = profiler {
+        if let Some(p) = profiler.as_deref() {
             // Attribution series land in the same snapshot the report
             // embeds, so `droop_attribution_total{event=...}` shows up
             // in the rendered metrics and the Prometheus exposition.
-            p.report().export_metrics(&metrics);
+            let report = p.report();
+            report.export_metrics(&metrics);
+            if obs.is_some() {
+                // The final /profile body includes the end-of-run
+                // flushed windows the periodic refreshes could not see.
+                last_profile = Some(Arc::new(report.to_json()));
+            }
         }
         let health = monitor.as_deref().map(Monitor::report);
         if let Some(h) = &health {
@@ -706,6 +816,37 @@ impl Service {
             tracer.export_telemetry(&metrics);
         }
         let snapshot = metrics.snapshot();
+        if let Some(oc) = obs {
+            // Final publish: the complete end-of-run registry (alert
+            // counters, monitor gauges, attribution series included),
+            // final health, and `done: true` — so post-run scrapes see
+            // the finished state instead of the last periodic sample.
+            oc.hub.publish(ObsSnapshot {
+                metrics: snapshot.clone(),
+                health: monitor.as_deref().map(Monitor::status),
+                service: Some(ServiceStatus {
+                    epoch: epochs,
+                    virtual_cycles: now,
+                    queue_depth: 0,
+                    running_jobs: 0,
+                    jobs_submitted: jobs.len(),
+                    jobs_admitted: admitted,
+                    jobs_completed: completed.len() as u64,
+                    droops,
+                    worker_slices: worker_slices
+                        .iter()
+                        .map(|w| w.load(Ordering::Relaxed))
+                        .collect(),
+                    done: true,
+                }),
+                fleet: None,
+                recent_droops: recent.iter().flatten().cloned().collect(),
+                profile_json: last_profile.clone(),
+            });
+            if let Some(hook) = &oc.on_publish {
+                hook(&oc.hub.latest());
+            }
+        }
         let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
             if completed.is_empty() {
                 0.0
@@ -917,6 +1058,7 @@ fn run_epoch(
     workers: usize,
     slice_cycles: u64,
     metrics: &MetricsRegistry,
+    worker_slices: &[AtomicU64],
 ) -> Result<Vec<SliceStats>, ServeError> {
     let workers = workers.max(1);
     let queue: Mutex<VecDeque<(usize, &mut ChipSlot)>> = Mutex::new(
@@ -931,14 +1073,16 @@ fn run_epoch(
     let results: Mutex<Vec<Option<Result<SliceStats, ChipError>>>> =
         Mutex::new((0..busy.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(busy.len()) {
-            scope.spawn(|| loop {
+        for my_slices in worker_slices.iter().take(workers.min(busy.len())) {
+            let (queue, results) = (&queue, &results);
+            scope.spawn(move || loop {
                 let item = queue.lock().expect("queue lock").pop_front();
                 let Some((ri, slot)) = item else { break };
                 let outcome = slot.run_slice(slice_cycles);
                 if let Ok(slice) = &outcome {
                     metrics.counter_add("serve_slices_total", 1);
                     metrics.counter_add("serve_chip_cycles_total", slice.cycles);
+                    my_slices.fetch_add(1, Ordering::Relaxed);
                 }
                 results.lock().expect("results lock")[ri] = Some(outcome);
             });
@@ -1214,6 +1358,83 @@ mod tests {
         assert_eq!(plain.droops, profiled.droops);
         assert_eq!(plain.virtual_cycles, profiled.virtual_cycles);
         assert_eq!(plain.completed, profiled.completed);
+    }
+
+    #[test]
+    fn obs_publishing_does_not_change_the_report() {
+        use vsmooth_obs::TelemetryHub;
+        let jobs = synthetic_jobs(7, 8, 1_200);
+        let service = Service::new(small_cfg()).unwrap();
+        let (monitored, health) = service
+            .run_monitored(
+                &jobs,
+                &OnlineDroop,
+                2,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .unwrap();
+
+        let hub = std::sync::Arc::new(TelemetryHub::new());
+        let mut cfg = small_cfg();
+        cfg.obs = Some(ObsConfig::new(std::sync::Arc::clone(&hub)));
+        let observed_service = Service::new(cfg).unwrap();
+        let (observed, obs_health) = observed_service
+            .run_monitored(
+                &jobs,
+                &OnlineDroop,
+                2,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .unwrap();
+
+        // Publishing is pure observation: the report — snapshot,
+        // metrics render, health digest, everything — is identical.
+        assert_eq!(monitored, observed);
+        assert_eq!(health, obs_health);
+
+        // The hub saw every epoch plus the final publish, with live
+        // state attached.
+        assert_eq!(hub.publishes(), observed.epochs + 1);
+        let last = hub.latest();
+        let status = last.service.as_ref().expect("service status published");
+        assert!(status.done);
+        assert_eq!(status.jobs_completed, observed.jobs_completed as u64);
+        assert_eq!(status.droops, observed.droops);
+        assert_eq!(
+            status.worker_slices.iter().sum::<u64>(),
+            observed.snapshot.counter("serve_slices_total")
+        );
+        assert_eq!(last.health.as_ref().map(|h| h.epochs), Some(health.epochs));
+        assert!(!last.recent_droops.is_empty());
+    }
+
+    #[test]
+    fn obs_only_run_matches_plain_report() {
+        use vsmooth_obs::TelemetryHub;
+        let jobs = synthetic_jobs(11, 6, 900);
+        let plain = Service::new(small_cfg())
+            .unwrap()
+            .run(&jobs, &OnlineDroop, 1)
+            .unwrap();
+        let hub = std::sync::Arc::new(TelemetryHub::new());
+        let mut cfg = small_cfg();
+        let mut oc = ObsConfig::new(std::sync::Arc::clone(&hub));
+        oc.publish_every = 4;
+        oc.recent_droops = 8;
+        cfg.obs = Some(oc);
+        let observed = Service::new(cfg)
+            .unwrap()
+            .run(&jobs, &OnlineDroop, 1)
+            .unwrap();
+        // Arming droop capture for the ring must not perturb physics
+        // or the report (crossing capture is observational).
+        assert_eq!(plain, observed);
+        // Publishes: one per 4 epochs plus the final.
+        assert_eq!(hub.publishes(), observed.epochs / 4 + 1);
+        // The ring is bounded at the configured capacity.
+        assert!(hub.latest().recent_droops.len() <= 8);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 
 fn main() {
     let m = vsmooth_stats::MetricsRegistry::new();
+    m.describe("droops_total", "Droop emergencies observed, per policy.");
+    m.describe(
+        "queue_wait_kcycles",
+        "Admission-queue wait per completed job, kilocycles.",
+    );
     m.counter_with("droops_total", &[("policy", "Droop(online)")], 42);
     m.counter_with("droops_total", &[("policy", "Random")], 97);
     m.counter_add("jobs_completed_total", 19);

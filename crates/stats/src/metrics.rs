@@ -243,6 +243,8 @@ pub struct MetricsRegistry {
     /// Declared bucket bounds by metric name ([`default_buckets`] when
     /// undeclared). Declare before the first observation.
     bucket_bounds: Mutex<BTreeMap<String, Vec<f64>>>,
+    /// Optional help text by metric name, rendered as `# HELP` lines.
+    descriptions: Mutex<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
@@ -296,6 +298,17 @@ impl MetricsRegistry {
             .insert(name.to_string(), sorted);
     }
 
+    /// Attaches help text to a metric name, emitted as a `# HELP` line
+    /// before the metric's `# TYPE` line in the Prometheus render.
+    /// Optional — undescribed metrics render exactly as before. Last
+    /// write wins; the text applies to every labeled series of `name`.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.descriptions
+            .lock()
+            .expect("metrics lock")
+            .insert(name.to_string(), help.to_string());
+    }
+
     /// Records one observation into the named unlabeled histogram.
     pub fn observe(&self, name: &str, value: f64) {
         self.observe_with(name, &[], value);
@@ -342,10 +355,18 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, h)| (k.clone(), h.summary()))
             .collect();
+        let descriptions = self
+            .descriptions
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            descriptions,
         }
     }
 }
@@ -382,6 +403,9 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(SeriesId, f64)>,
     /// Histogram summaries sorted by series id.
     pub histograms: Vec<(SeriesId, HistogramSummary)>,
+    /// Help text by metric name (sorted), from
+    /// [`MetricsRegistry::describe`].
+    pub descriptions: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
@@ -458,15 +482,28 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Renders in the Prometheus text exposition format: one `# TYPE`
-    /// line per metric name, stable label ordering, and histogram
-    /// series rendered as summaries with `quantile` labels plus
+    /// Renders in the Prometheus text exposition format: an optional
+    /// `# HELP` line (for described metrics) and one `# TYPE` line per
+    /// metric name, stable label ordering, and histogram series
+    /// rendered as summaries with `quantile` labels plus
     /// `_sum`/`_count`/`_dropped` lines.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut typed: Option<&str> = None;
         let type_line = |out: &mut String, name: &str, kind: &str, last: &mut Option<&str>| {
             if *last != Some(name) {
+                if let Ok(i) = self
+                    .descriptions
+                    .binary_search_by(|(k, _)| k.as_str().cmp(name))
+                {
+                    // HELP text must stay on one line: the exposition
+                    // format escapes backslash and newline (only).
+                    let help = self.descriptions[i]
+                        .1
+                        .replace('\\', "\\\\")
+                        .replace('\n', "\\n");
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                }
                 let _ = writeln!(out, "# TYPE {name} {kind}");
             }
         };
@@ -661,6 +698,45 @@ mod tests {
         assert!(text.contains("queue_wait_kcycles{quantile=\"0.5\"} 1.5"));
         assert!(text.contains("queue_wait_kcycles_count 1"));
         assert!(text.contains("queue_wait_kcycles_dropped 0"));
+    }
+
+    #[test]
+    fn described_metrics_render_help_before_type() {
+        let m = MetricsRegistry::new();
+        m.describe("droops_total", "Droop emergencies per policy.");
+        m.describe("queue_wait_kcycles", "Admission queue wait.");
+        m.counter_with("droops_total", &[("policy", "droop")], 4);
+        m.gauge_set("util", 0.5);
+        m.observe("queue_wait_kcycles", 1.5);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains(
+            "# HELP droops_total Droop emergencies per policy.\n# TYPE droops_total counter"
+        ));
+        assert!(text.contains(
+            "# HELP queue_wait_kcycles Admission queue wait.\n# TYPE queue_wait_kcycles summary"
+        ));
+        // Undescribed metrics render exactly as before.
+        assert!(!text.contains("# HELP util"));
+        assert!(text.contains("# TYPE util gauge"));
+        // One HELP per name, even with several labeled series.
+        m.counter_with("droops_total", &[("policy", "random")], 9);
+        let text = m.snapshot().render_prometheus();
+        assert_eq!(text.matches("# HELP droops_total").count(), 1);
+    }
+
+    #[test]
+    fn help_text_is_escaped_onto_one_line() {
+        let m = MetricsRegistry::new();
+        m.describe("c", "line1\nline2 \\ backslash");
+        m.counter_add("c", 1);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("# HELP c line1\\nline2 \\\\ backslash\n"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,13 @@ use vsmooth_stats::MetricsRegistry;
 
 fn sample_registry() -> MetricsRegistry {
     let m = MetricsRegistry::new();
+    m.describe("droops_total", "Droop emergencies observed, per policy.");
+    m.describe(
+        "queue_wait_kcycles",
+        "Admission-queue wait per completed job, kilocycles.",
+    );
+    // chip_utilization and jobs_completed_total are deliberately left
+    // undescribed: HELP lines are opt-in per metric name.
     m.counter_with("droops_total", &[("policy", "Droop(online)")], 42);
     m.counter_with("droops_total", &[("policy", "Random")], 97);
     m.counter_add("jobs_completed_total", 19);

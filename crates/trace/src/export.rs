@@ -188,6 +188,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean value if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {

@@ -33,6 +33,8 @@ use vsmooth::trace::Tracer;
 
 /// Virtual cycle at which the noisy burst begins.
 const NOISY_AT: u64 = 14_000;
+/// Virtual cycle at which the quiet tail starts arriving.
+const QUIET_AT: u64 = 40_000;
 
 fn degradation_jobs() -> Vec<JobSpec> {
     let mut jobs = Vec::new();
@@ -48,6 +50,17 @@ fn degradation_jobs() -> Vec<JobSpec> {
             id: 4 + i,
             workload: "482.sphinx3".to_string(),
             arrival_cycle: NOISY_AT + i * 200,
+        });
+    }
+    // A quiet tail after the burst drains: the windowed droop rate
+    // falls back, the rules clear for `resolve_after` evaluations, and
+    // the run shuts down with verdict OK instead of a page still
+    // firing (exactly what an operator wants after remediation).
+    for i in 0..6u64 {
+        jobs.push(JobSpec {
+            id: 12 + i,
+            workload: if i % 2 == 0 { "444.namd" } else { "453.povray" }.to_string(),
+            arrival_cycle: QUIET_AT + i * 2_000,
         });
     }
     jobs
@@ -152,5 +165,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     std::fs::write(&health_path, &json)?;
     println!("\nwrote {health_path} — deterministic health artifact");
+
+    // The exit-code contract shares one definition of "unhealthy" with
+    // the obs server's /healthz (Severity::pages): a paging alert
+    // still unresolved at shutdown means verdict FIRING, a [FIRING]
+    // marker on the service report, and a nonzero exit. The quiet tail
+    // above lets the critical alert resolve, so the demo exits 0.
+    println!("health verdict: {}", health.verdict());
+    if health.pages_firing() > 0 {
+        eprintln!("paging alert still firing at shutdown");
+        std::process::exit(1);
+    }
+    assert!(
+        !report.render().contains("[FIRING]"),
+        "report marker must agree with the verdict"
+    );
     Ok(())
 }

@@ -9,6 +9,7 @@ use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 
 use vsmooth::chip::ChipConfig;
+use vsmooth::obs::{ObsConfig, TelemetryHub};
 use vsmooth::pdn::DecapConfig;
 use vsmooth::sched::{OnlineDroop, PairPolicy};
 use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig, ServiceReport};
@@ -60,9 +61,19 @@ impl Write for CountingWriter {
 }
 
 fn run_traced(workers: usize, jobs_n: usize, tracer: &Tracer) -> ServiceReport {
+    run_traced_with_obs(workers, jobs_n, tracer, None)
+}
+
+fn run_traced_with_obs(
+    workers: usize,
+    jobs_n: usize,
+    tracer: &Tracer,
+    obs: Option<ObsConfig>,
+) -> ServiceReport {
     let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
     cfg.chips = 3;
     cfg.slice_cycles = 600;
+    cfg.obs = obs;
     let service = Service::new(cfg).expect("valid config");
     let jobs = synthetic_jobs(19, jobs_n, 900);
     service
@@ -101,6 +112,44 @@ fn streaming_bytes_match_the_batch_exporter_at_every_worker_count() {
     }
     let shape = validate_chrome_trace(&batch).expect("valid Chrome trace");
     assert!(shape.spans > 0 && shape.droops > 0);
+}
+
+#[test]
+fn obs_recent_ring_never_drains_the_streaming_exporter() {
+    // The obs hub's /trace/recent ring and the streaming trace sink
+    // both want droop records. They must be fed independently: the
+    // coordinator clones crossings into the obs ring, it never pops
+    // them out of the Tracer. Attaching a hub to an otherwise
+    // identical run must therefore leave the streamed bytes — and all
+    // the pipeline accounting — untouched, while the ring still fills.
+    let (plain_bytes, plain_stats) = streaming_run(2, 18, StreamConfig::default());
+
+    let hub = Arc::new(TelemetryHub::new());
+    let buf = SharedBuf::default();
+    let tracer = Tracer::streaming_to_writer(buf.clone(), StreamConfig::default());
+    run_traced_with_obs(2, 18, &tracer, Some(ObsConfig::new(Arc::clone(&hub))));
+    let observed_stats = tracer
+        .finish_stream()
+        .expect("streaming tracer")
+        .expect("sink flush");
+
+    assert_eq!(
+        plain_bytes,
+        buf.bytes(),
+        "attaching an obs hub must not change the streamed trace bytes"
+    );
+    assert_eq!(plain_stats.records_seen, observed_stats.records_seen);
+    assert_eq!(plain_stats.records_written, observed_stats.records_written);
+    assert_eq!(observed_stats.dropped_total(), 0);
+
+    // ... and the ring actually saw the run: droops were cloned in,
+    // not diverted from the exporter.
+    let snap = hub.latest();
+    assert!(
+        !snap.recent_droops.is_empty(),
+        "the obs ring must hold recent droop crossings after the run"
+    );
+    assert!(snap.service.as_ref().is_some_and(|s| s.done));
 }
 
 #[test]
