@@ -24,6 +24,17 @@ echo "== testkit gate (oracles, invariants, properties) =="
 PROPTEST_CASES=64 cargo test -q -p vsmooth-testkit
 cargo test -q -p vsmooth-repro --test oracle_validation
 
+echo "== shard equivalence gate (coordinator vs sharded runtime) =="
+# The differential oracle for the shard-per-worker runtime: every
+# artifact class (report, trace JSON, profile JSON, health JSON, obs
+# snapshot stream) byte-identical between the in-line coordinator and
+# 1/2/4/8 shards, plus the seeded property over random job streams
+# with a pinned case count, plus the work-stealing stress suite with
+# job-conservation accounting and the armed invariant checker.
+PROPTEST_CASES=64 cargo test -q -p vsmooth-repro --test shard_equivalence
+cargo test -q -p vsmooth-repro --test shard_stress
+cargo test -q -p vsmooth-repro --test serve_invariance
+
 echo "== trace demo (artifact validation) =="
 # The demo itself asserts 1/2/8-worker byte-determinism and trace
 # shape; afterwards double-check the artifacts exist and are sane.
@@ -94,6 +105,19 @@ grep -q '"full_mode_peak_records":' BENCH_serve.json
 grep -q '"streaming_peak_ring_occupancy":' BENCH_serve.json
 grep -q '"streaming_dropped_total": 0' BENCH_serve.json
 grep -q '"obs_scrape_under_load":' BENCH_serve.json
+# Shard-runtime scaling gates: throughput must not regress as workers
+# are added (3% adjacent tolerance, computed by the bench) and the
+# 8-worker figure must clear 2.5x the 1-worker figure. The seed repo
+# measured 0.82x here — the coordinator bottleneck this runtime kills.
+grep -q '"scaling_monotone_1_to_8": true' BENCH_serve.json \
+    || { echo "serve throughput no longer monotone in worker count"; exit 1; }
+grep -q '"scaling_meets_target": true' BENCH_serve.json \
+    || { echo "8-worker scaling fell below the 2.5x floor"; exit 1; }
+# Profiled-overhead ceiling: attribution must stay within 1.55x of a
+# plain run (regressed to 1.63x once; caught here since).
+awk -F': ' '/"profiled":/ { gsub(/,/, "", $2); ok = ($2 + 0 <= 1.55) }
+            END { exit !ok }' BENCH_serve.json \
+    || { echo "profiled overhead exceeds the 1.55x ceiling"; exit 1; }
 
 echo "== obs demo (live endpoints over loopback HTTP) =="
 # The demo attaches the embedded scrape server to the monitored

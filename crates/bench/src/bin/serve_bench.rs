@@ -52,32 +52,65 @@ fn main() {
     let jobs = synthetic_jobs(2010, JOBS, 900);
 
     // Throughput per worker count: median wall time and simulated
-    // kilocycles per wall second over identical runs.
-    let mut rows = Vec::new();
-    for &workers in &WORKER_COUNTS {
-        // One warm-up, then the timed rounds.
-        let warm = service
-            .run(&jobs, &OnlineDroop, workers)
-            .expect("service run");
-        let mut wall_ms = Vec::with_capacity(ROUNDS);
-        let mut kcps = Vec::with_capacity(ROUNDS);
-        for _ in 0..ROUNDS {
+    // kilocycles per wall second over identical runs. Rounds are
+    // *interleaved* across worker counts (round-major, not
+    // worker-major) so slow drift of the host — thermal throttling,
+    // noisy neighbours — lands on every worker count equally instead
+    // of skewing whichever count happened to run last. The scaling
+    // ratios below compare medians across counts, so drift matters
+    // more here than in any single row.
+    let warm = service.run(&jobs, &OnlineDroop, 1).expect("service run");
+    let mut wall_ms = vec![Vec::with_capacity(ROUNDS); WORKER_COUNTS.len()];
+    let mut kcps = vec![Vec::with_capacity(ROUNDS); WORKER_COUNTS.len()];
+    for round in 0..=ROUNDS {
+        for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
             let start = Instant::now();
             let report = service
                 .run(&jobs, &OnlineDroop, workers)
                 .expect("service run");
             let secs = start.elapsed().as_secs_f64().max(1e-9);
             assert_eq!(report.chip_cycles, warm.chip_cycles, "schedule drifted");
-            wall_ms.push(secs * 1e3);
-            kcps.push(report.chip_cycles as f64 / 1e3 / secs);
+            if round > 0 {
+                // Round 0 warms every worker count's code paths.
+                wall_ms[i].push(secs * 1e3);
+                kcps[i].push(report.chip_cycles as f64 / 1e3 / secs);
+            }
         }
-        println!(
-            "serve_throughput workers={workers}: {:.1} ms, {:.0} kcycles/sec",
-            median(wall_ms.clone()),
-            median(kcps.clone())
-        );
-        rows.push((workers, median(wall_ms), median(kcps)));
     }
+    let mut rows = Vec::new();
+    for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
+        let (ms, kc) = (median(wall_ms[i].clone()), median(kcps[i].clone()));
+        println!("serve_throughput workers={workers}: {ms:.1} ms, {kc:.0} kcycles/sec");
+        rows.push((workers, ms, kc));
+    }
+
+    // Shard-runtime scaling summary: the 8-worker over 1-worker
+    // throughput ratio, and whether throughput is monotone in the
+    // worker count (with a small tolerance for adjacent counts whose
+    // true cost is nearly equal, so host noise can't flip the flag).
+    // The flags compare each count's *best* round rather than its
+    // median: on a one-core host every preemption only ever adds
+    // time, so the per-count minimum wall is the least-noise estimate
+    // of true cost (same reasoning as the obs row below), and these
+    // flags are CI gates that must not flake with the host's mood.
+    let best_kcps: Vec<f64> = kcps
+        .iter()
+        .map(|xs| xs.iter().copied().fold(0.0, f64::max))
+        .collect();
+    let kcps_at = |workers: usize| {
+        WORKER_COUNTS
+            .iter()
+            .position(|w| *w == workers)
+            .map(|i| best_kcps[i])
+            .expect("worker count benchmarked")
+    };
+    let scaling_8w_over_1w = kcps_at(8) / kcps_at(1);
+    let scaling_monotone = best_kcps.windows(2).all(|pair| pair[1] >= pair[0] * 0.97);
+    let scaling_meets_target = scaling_8w_over_1w >= 2.5;
+    println!(
+        "serve_scaling: 8w/1w = {scaling_8w_over_1w:.2}x, \
+         monotone(3% tol) = {scaling_monotone}, meets 2.5x target = {scaling_meets_target}"
+    );
 
     // Armed-instrument overhead at one worker: interleaved pairs of
     // (plain, armed) runs of the same stream, median of per-pair
@@ -305,7 +338,17 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ],\n  \"overhead_ratio\": {\n");
+    out.push_str("  ],\n  \"scaling\": {\n");
+    out.push_str(&format!(
+        "    \"scaling_8w_over_1w\": {scaling_8w_over_1w:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"scaling_monotone_1_to_8\": {scaling_monotone},\n"
+    ));
+    out.push_str(&format!(
+        "    \"scaling_meets_target\": {scaling_meets_target}\n"
+    ));
+    out.push_str("  },\n  \"overhead_ratio\": {\n");
     for (i, (name, ratio)) in ratios.iter().enumerate() {
         out.push_str(&format!(
             "    \"{name}\": {ratio:.3}{}\n",

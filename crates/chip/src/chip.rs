@@ -130,16 +130,18 @@ impl ChipConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Chip {
-    cfg: ChipConfig,
-    cores: Vec<Core>,
-    pdn: DiscreteStateSpace,
-    cycle: u64,
+    // Fields are crate-visible so the fused fast-slice kernel
+    // (`crate::fastpath`) can mirror `step_cycle` without indirection.
+    pub(crate) cfg: ChipConfig,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) pdn: DiscreteStateSpace,
+    pub(crate) cycle: u64,
     /// Trimmed source voltage (the regulator's integrator state).
-    vs: f64,
+    pub(crate) vs: f64,
     /// Slow EMA of total load current, as the regulator senses it.
-    i_avg: f64,
+    pub(crate) i_avg: f64,
     /// Last sensed die voltage (regulator feedback).
-    last_v: f64,
+    pub(crate) last_v: f64,
 }
 
 impl Chip {

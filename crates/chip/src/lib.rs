@@ -28,6 +28,7 @@
 
 pub mod batch;
 pub mod chip;
+pub(crate) mod fastpath;
 pub mod fidelity;
 pub mod invariant;
 pub mod probe;

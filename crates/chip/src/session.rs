@@ -40,26 +40,29 @@ pub struct DroopCrossing {
 
 /// Active droop-event capture: margin, hysteresis state, event log.
 #[derive(Debug, Clone)]
-struct DroopCapture {
-    margin_pct: f64,
-    below: bool,
-    events: Vec<DroopCrossing>,
+pub(crate) struct DroopCapture {
+    pub(crate) margin_pct: f64,
+    pub(crate) below: bool,
+    pub(crate) events: Vec<DroopCrossing>,
 }
 
 /// Accumulated measurement state shared by one-shot runs and sessions.
+///
+/// Fields are crate-visible so the fused fast-slice kernel
+/// (`crate::fastpath`) can advance the measurement without indirection.
 #[derive(Debug, Clone)]
 pub(crate) struct MeasureState {
-    sensor: VoltageSensor,
-    droops: CrossingGrid,
-    overshoots: CrossingGrid,
-    droops_per_interval: Vec<f64>,
-    interval_cycles: u64,
-    interval_start_events: u64,
-    measured_cycles: u64,
-    last_sensed: f64,
-    capture: Option<DroopCapture>,
-    window: Option<WindowCapture>,
-    invariants: Option<InvariantState>,
+    pub(crate) sensor: VoltageSensor,
+    pub(crate) droops: CrossingGrid,
+    pub(crate) overshoots: CrossingGrid,
+    pub(crate) droops_per_interval: Vec<f64>,
+    pub(crate) interval_cycles: u64,
+    pub(crate) interval_start_events: u64,
+    pub(crate) measured_cycles: u64,
+    pub(crate) last_sensed: f64,
+    pub(crate) capture: Option<DroopCapture>,
+    pub(crate) window: Option<WindowCapture>,
+    pub(crate) invariants: Option<InvariantState>,
 }
 
 impl MeasureState {
@@ -317,8 +320,12 @@ impl SliceStats {
 /// ```
 #[derive(Debug)]
 pub struct ChipSession {
-    chip: Chip,
-    state: MeasureState,
+    pub(crate) chip: Chip,
+    pub(crate) state: MeasureState,
+    /// Precomputed coefficients for the fused fast-slice kernel
+    /// (`crate::fastpath`), built on first use and reused for the
+    /// session's lifetime (the PDN matrices and ripple are immutable).
+    pub(crate) fast: Option<crate::fastpath::FastCache>,
 }
 
 impl ChipSession {
@@ -342,7 +349,11 @@ impl ChipSession {
         }
         chip.warm_up(warmup_sources);
         let state = MeasureState::new(&chip, interval_cycles);
-        Ok(Self { chip, state })
+        Ok(Self {
+            chip,
+            state,
+            fast: None,
+        })
     }
 
     /// Runs one slice of `cycles` measured cycles under `sources`.

@@ -209,6 +209,16 @@ impl DiscreteStateSpace {
         y
     }
 
+    /// The discretized system matrices `(Ad, Bd, C, D)`.
+    ///
+    /// Exposed so a caller that steps the system in a hot loop can
+    /// build its own fixed-size kernel from the same coefficients; any
+    /// such kernel must reproduce [`DiscreteStateSpace::step_first`]'s
+    /// exact accumulation order to stay bit-identical.
+    pub fn system_matrices(&self) -> (&Mat, &Mat, &Mat, &Mat) {
+        (&self.ad, &self.bd, &self.c, &self.d)
+    }
+
     /// Output for the current state and input without advancing time.
     pub fn output(&self, u: &[f64]) -> Vec<f64> {
         let mut y = self.c.mul_vec(&self.x);

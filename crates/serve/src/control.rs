@@ -1,0 +1,357 @@
+//! Control plane of the sharded service runtime: the typed records
+//! the coordinator's decision loop emits, the commands it sends to
+//! chip cells, the slice logs shards send back, and the event bus
+//! those logs travel over.
+//!
+//! The decision loop never touches an artifact sink (metrics, tracer,
+//! monitor, profiler, obs hub, telemetry book). It only *decides* —
+//! admissions, placements, grants, analytic completions — and records
+//! each epoch as an [`EpochRec`]. Every observable side effect is
+//! produced later by the merge layer (`crate::merge`) replaying those
+//! records against the per-chip [`SliceLog`]s, in exactly the order
+//! the historical single-coordinator loop produced them. Byte-identity
+//! of every artifact therefore holds by construction, regardless of
+//! which shard executed which slice when.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::job::JobSpec;
+use vsmooth_chip::{ChipError, DroopCrossing, DroopWindow, SliceStats};
+use vsmooth_workload::EventStream;
+
+/// How [`Service::run`](crate::Service::run) maps its `workers`
+/// argument onto an execution backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// `workers <= 1` runs on the in-line coordinator backend,
+    /// `workers >= 2` runs one long-lived shard per worker. The
+    /// default.
+    #[default]
+    Auto,
+    /// Always the single-threaded coordinator backend, whatever
+    /// `workers` says. This is the reference implementation the shard
+    /// runtime is differentially tested against: chips advance in-line
+    /// on the coordinator thread through the reference cycle loop.
+    Coordinator,
+    /// Always the shard-per-worker backend, even for `workers == 1`.
+    Sharded,
+}
+
+/// One job placement decided in an epoch, in decision order.
+#[derive(Debug, Clone)]
+pub(crate) struct PlaceRec {
+    pub spec: JobSpec,
+    pub chip: usize,
+    pub core: usize,
+}
+
+/// One core's resident job during an epoch's slice, plus whether the
+/// decision loop's analytic completion check says this slice is the
+/// job's last (streams advance one cycle per cycle and never loop, so
+/// `executed >= total_cycles` is exactly `EventStream::is_finished`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreSlice {
+    pub job: u64,
+    pub finishes: bool,
+}
+
+/// One busy chip's occupancy for one epoch, in core order.
+#[derive(Debug, Clone)]
+pub(crate) struct BusyChip {
+    pub chip: usize,
+    pub cores: [Option<CoreSlice>; 2],
+}
+
+/// Everything the decision loop decided in one epoch — the script
+/// entry the merge layer replays. `index` is the zero-based epoch
+/// number and `now` the virtual clock at the epoch's start.
+#[derive(Debug, Clone)]
+pub(crate) struct EpochRec {
+    pub index: u64,
+    pub now: u64,
+    /// Jobs admitted this epoch, in admission order.
+    pub admits: Vec<JobSpec>,
+    /// Set when an admission overflowed the bounded queue: the
+    /// configured capacity and the overflowing job. The record then
+    /// carries only the admissions that preceded the overflow, and the
+    /// run ends with [`ServeError::QueueOverflow`](crate::ServeError).
+    pub overflow: Option<(usize, u64)>,
+    /// Placements decided this epoch, in placement-pass order.
+    pub places: Vec<PlaceRec>,
+    /// Chips that run a slice this epoch, in chip-index order.
+    pub busy: Vec<BusyChip>,
+    /// Ready-queue depth after placement (feeds monitor/obs).
+    pub queue_depth_after: usize,
+    /// Jobs still resident after this epoch's analytic completions.
+    pub running_after: usize,
+}
+
+impl EpochRec {
+    pub(crate) fn new(index: u64, now: u64) -> Self {
+        Self {
+            index,
+            now,
+            admits: Vec::new(),
+            overflow: None,
+            places: Vec::new(),
+            busy: Vec::new(),
+            queue_depth_after: 0,
+            running_after: 0,
+        }
+    }
+}
+
+/// A job as a chip cell holds it: the instance-seeded event stream.
+#[derive(Debug)]
+pub(crate) struct CellJob {
+    pub id: u64,
+    pub stream: EventStream,
+}
+
+/// A command queued at a chip cell, drained FIFO under the cell lock
+/// by whichever shard processes the chip's next token. FIFO order is
+/// what makes work-stealing safe: a stolen token replays the cell's
+/// history exactly as the owning shard would have.
+#[derive(Debug)]
+pub(crate) enum CellCmd {
+    /// Install `job` on `core` (the decision loop only targets cores
+    /// its shadow occupancy knows are free).
+    AddJob { core: usize, job: CellJob },
+    /// Advance the chip one scheduling quantum for epoch `epoch`.
+    Grant { epoch: u64 },
+}
+
+/// Everything one executed slice produced, tagged `(shard, epoch,
+/// seq)`: `shard`/`seq` give the per-executor total order (each
+/// shard's lane is a FIFO), while `(epoch, chip)` is the
+/// executor-independent key the merge layer actually orders by.
+#[derive(Debug)]
+pub(crate) struct SliceLog {
+    pub shard: usize,
+    pub seq: u64,
+    pub epoch: u64,
+    pub chip: usize,
+    /// Session clock at the start of the slice.
+    pub session_start: u64,
+    pub stats: SliceStats,
+    pub crossings: Vec<DroopCrossing>,
+    pub windows: Vec<DroopWindow>,
+    pub invariant_violations: usize,
+    /// Per-core job ids whose stream finished on this slice, as the
+    /// *executor* observed it — cross-checked in debug builds against
+    /// the decision loop's analytic completion prediction.
+    pub finished: [Option<u64>; 2],
+}
+
+/// One message from a shard to the coordinator.
+#[derive(Debug)]
+pub(crate) enum ShardEvent {
+    Slice(SliceLog),
+    /// Chip simulation failed; the run aborts with
+    /// [`ServeError::Chip`](crate::ServeError).
+    Failed {
+        error: ChipError,
+    },
+}
+
+#[derive(Debug, Default)]
+struct BusState {
+    /// Events published across all lanes, ever.
+    published: u64,
+    /// Shards that have exited (cleanly or by panic).
+    exited: usize,
+}
+
+/// The shard→coordinator event bus: one single-producer lane per
+/// shard (each shard is its lane's only writer; the coordinator is
+/// the only reader) plus a shared doorbell the coordinator blocks on
+/// while granted slices are still in flight.
+#[derive(Debug)]
+pub(crate) struct EventBus {
+    lanes: Vec<Mutex<VecDeque<ShardEvent>>>,
+    state: Mutex<BusState>,
+    bell: Condvar,
+}
+
+impl EventBus {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            lanes: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(BusState::default()),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Publishes `event` on `shard`'s lane and rings the doorbell.
+    /// The coordinator is the bell's only waiter, so one wake is
+    /// enough.
+    pub(crate) fn publish(&self, shard: usize, event: ShardEvent) {
+        self.lanes[shard]
+            .lock()
+            .expect("lane lock")
+            .push_back(event);
+        self.state.lock().expect("bus state lock").published += 1;
+        self.bell.notify_one();
+    }
+
+    /// Marks one shard as exited, waking the coordinator so it can
+    /// notice missing logs instead of blocking forever.
+    pub(crate) fn shard_exited(&self) {
+        self.state.lock().expect("bus state lock").exited += 1;
+        self.bell.notify_one();
+    }
+
+    /// Drains every lane into `sink` (coordinator side, non-blocking).
+    pub(crate) fn drain(&self, sink: &mut Vec<ShardEvent>) {
+        for lane in &self.lanes {
+            let mut lane = lane.lock().expect("lane lock");
+            while let Some(event) = lane.pop_front() {
+                sink.push(event);
+            }
+        }
+    }
+
+    /// Blocks until more events have been published than the caller
+    /// has seen, updating `seen`. Panics if every shard exited while
+    /// the caller was still owed events — granted work can then never
+    /// arrive, which is a runtime bug, not a recoverable condition.
+    pub(crate) fn wait_beyond(&self, seen: &mut u64) {
+        let mut state = self.state.lock().expect("bus state lock");
+        while state.published <= *seen {
+            assert!(
+                state.exited < self.lanes.len(),
+                "all shard workers exited with granted slices still outstanding"
+            );
+            state = self.bell.wait(state).expect("bus state lock");
+        }
+        *seen = state.published;
+    }
+}
+
+/// The token board: per-shard queues of chip tokens (a token means
+/// "this chip has queued commands to drain") plus the work-stealing
+/// protocol. A shard prefers its own queue and steals round-robin
+/// from the others when it runs dry, so one hot shard's backlog is
+/// spread across the pool without ever reordering a single chip's
+/// command stream (ordering lives in the cell's FIFO, not here).
+#[derive(Debug)]
+pub(crate) struct TokenBoard {
+    state: Mutex<TokenState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct TokenState {
+    queues: Vec<VecDeque<usize>>,
+    shutdown: bool,
+}
+
+impl TokenBoard {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            state: Mutex::new(TokenState {
+                queues: (0..shards).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues chip tokens onto their owners' queues in one critical
+    /// section. One parked shard is woken per token (capped at the
+    /// pool size): any shard can serve any token via the steal sweep,
+    /// and waking the whole pool for a handful of tokens just burns
+    /// context switches on small machines.
+    pub(crate) fn push_many(&self, tokens: impl IntoIterator<Item = (usize, usize)>) {
+        let mut state = self.state.lock().expect("token lock");
+        let mut pushed = 0usize;
+        for (owner, chip) in tokens {
+            state.queues[owner].push_back(chip);
+            pushed += 1;
+        }
+        let wakes = pushed.min(state.queues.len());
+        drop(state);
+        for _ in 0..wakes {
+            self.cv.notify_one();
+        }
+    }
+
+    /// The next chip token for shard `me`: its own queue first, then a
+    /// round-robin steal sweep. Blocks when every queue is empty and
+    /// returns `None` only after shutdown.
+    pub(crate) fn next(&self, me: usize) -> Option<usize> {
+        let mut state = self.state.lock().expect("token lock");
+        loop {
+            if let Some(chip) = state.queues[me].pop_front() {
+                return Some(chip);
+            }
+            let n = state.queues.len();
+            for offset in 1..n {
+                if let Some(chip) = state.queues[(me + offset) % n].pop_front() {
+                    return Some(chip);
+                }
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.cv.wait(state).expect("token lock");
+        }
+    }
+
+    /// Lets every shard drain its remaining tokens and exit.
+    pub(crate) fn shutdown(&self) {
+        self.state.lock().expect("token lock").shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_bus_delivers_in_lane_order_and_counts() {
+        let bus = EventBus::new(2);
+        bus.publish(
+            0,
+            ShardEvent::Failed {
+                error: ChipError::InvalidConfig("a"),
+            },
+        );
+        bus.publish(
+            1,
+            ShardEvent::Failed {
+                error: ChipError::InvalidConfig("b"),
+            },
+        );
+        let mut sink = Vec::new();
+        bus.drain(&mut sink);
+        assert_eq!(sink.len(), 2);
+        let mut seen = 0;
+        bus.wait_beyond(&mut seen);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn token_board_prefers_own_queue_then_steals() {
+        let board = TokenBoard::new(2);
+        board.push_many([(0, 7), (1, 9)]);
+        // Shard 1 takes its own token first, then steals shard 0's.
+        assert_eq!(board.next(1), Some(9));
+        assert_eq!(board.next(1), Some(7));
+        board.shutdown();
+        assert_eq!(board.next(1), None);
+        assert_eq!(board.next(0), None);
+    }
+
+    #[test]
+    fn shutdown_drains_before_stopping() {
+        let board = TokenBoard::new(1);
+        board.push_many([(0, 3)]);
+        board.shutdown();
+        // Remaining tokens are still served after shutdown.
+        assert_eq!(board.next(0), Some(3));
+        assert_eq!(board.next(0), None);
+    }
+}

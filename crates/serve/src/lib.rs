@@ -43,10 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod job;
+pub(crate) mod merge;
 pub mod service;
+pub(crate) mod shard;
 pub mod telemetry;
 
+pub use control::RuntimeMode;
 pub use job::{synthetic_jobs, CompletedJob, JobSpec};
 pub use service::{Service, ServiceConfig, ServiceReport};
 pub use telemetry::{TelemetryBook, WorkloadProfile};
@@ -75,6 +79,13 @@ pub enum ServeError {
     },
     /// Chip simulation failed.
     Chip(vsmooth_chip::ChipError),
+    /// The run was configured with
+    /// [`invariants`](ServiceConfig::invariants) and the per-chip
+    /// physical-invariant checker flagged violations.
+    InvariantViolations {
+        /// Total violations flagged across the pool.
+        violations: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -87,6 +98,9 @@ impl fmt::Display for ServeError {
                 "admission queue overflow: job {job} arrived with {capacity} jobs already waiting"
             ),
             Self::Chip(e) => write!(f, "chip simulation failed: {e}"),
+            Self::InvariantViolations { violations } => {
+                write!(f, "invariant checker flagged {violations} violations")
+            }
         }
     }
 }

@@ -1,0 +1,635 @@
+//! The merge layer: deterministic replay of the decision loop's
+//! epoch records against per-chip slice logs, reconstructing every
+//! artifact — metrics, trace records, monitor feed, profiler
+//! attribution, obs snapshots, the telemetry book and the completed
+//! jobs — in exactly the order the historical single-coordinator loop
+//! produced them.
+//!
+//! The replay is keyed by `(epoch, chip)`: epoch records are replayed
+//! in epoch order, and within an epoch busy chips are walked in
+//! chip-index order. Which shard executed a slice, in what real-time
+//! order, with how much work-stealing — none of it is visible here,
+//! which is what makes every artifact byte-identical across backends
+//! and shard counts (enforced by `tests/shard_equivalence.rs`). The
+//! single documented exception is [`ServiceStatus::worker_slices`]:
+//! live per-worker tallies read from atomics at publish time, whose
+//! split (never the sum) is execution-dependent by design.
+//!
+//! [`ServiceStatus::worker_slices`]: vsmooth_obs::ServiceStatus
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::control::EpochRec;
+use crate::control::SliceLog;
+use crate::job::CompletedJob;
+use crate::shard::ChipCell;
+use crate::telemetry::TelemetryBook;
+use crate::ServeError;
+use vsmooth_chip::{DroopWindow, PHASE_MARGIN_PCT};
+use vsmooth_monitor::{EpochSample, HealthReport, Monitor, SliceRecord};
+use vsmooth_obs::{ObsConfig, ObsSnapshot, ServiceStatus};
+use vsmooth_profile::{emit_window_span, Profiler};
+use vsmooth_stats::MetricsRegistry;
+use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS, PID_MONITOR};
+
+/// Virtual thread id hosting `droop_window` spans on a chip timeline
+/// (cores are threads 0 and 1).
+pub(crate) const PROFILE_TID: u64 = 2;
+
+/// One executed slice of one chip, remembered so droop windows that
+/// seal later (their tail crosses a slice boundary, or the run ends)
+/// can still be labeled with the jobs that were resident at the
+/// trigger and mapped back onto the virtual clock.
+#[derive(Debug)]
+struct SliceSeg {
+    /// Session clock at the start of the slice.
+    session_start: u64,
+    /// Virtual clock at the start of the slice.
+    virtual_start: u64,
+    /// Workloads resident during the slice, joined with `+`.
+    label: String,
+}
+
+/// What the merge layer knows about a job currently on a core.
+#[derive(Debug)]
+struct RunMeta {
+    spec: crate::job::JobSpec,
+    started_cycle: u64,
+    executed_cycles: u64,
+    instructions: f64,
+    attributed_droops: u64,
+}
+
+/// The replay engine plus all artifact-side run state.
+pub(crate) struct Merge<'a> {
+    metrics: &'a MetricsRegistry,
+    tracer: &'a Tracer,
+    profiler: Option<&'a mut Profiler>,
+    monitor: Option<&'a mut Monitor>,
+    obs: Option<&'a ObsConfig>,
+    publish_every: u64,
+    recent_cap: usize,
+    /// The /trace/recent ring: an independent coordinator-side copy
+    /// of recent crossings (the tracer's own ring stays
+    /// exporter-owned).
+    recent: Option<VecDeque<DroopEvent>>,
+    worker_slices: Arc<Vec<AtomicU64>>,
+    slice_cycles: u64,
+    jobs_submitted: usize,
+    book: TelemetryBook,
+    running: BTreeMap<u64, RunMeta>,
+    completed: Vec<CompletedJob>,
+    segs: Vec<Vec<SliceSeg>>,
+    admitted: u64,
+    droops: u64,
+    /// Slice counters batched between observation points: the registry
+    /// is only readable at obs publishes and at finalize, so per-slice
+    /// `counter_add` calls (a series lookup each) can be accumulated
+    /// locally and flushed right before each of those points without
+    /// changing a single observable byte.
+    pending_slices: u64,
+    pending_cycles: u64,
+    epochs_merged: u64,
+    last_profile: Option<Arc<String>>,
+    invariant_violations: usize,
+}
+
+impl<'a> Merge<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        metrics: &'a MetricsRegistry,
+        tracer: &'a Tracer,
+        profiler: Option<&'a mut Profiler>,
+        monitor: Option<&'a mut Monitor>,
+        obs: Option<&'a ObsConfig>,
+        worker_slices: Arc<Vec<AtomicU64>>,
+        chips: usize,
+        slice_cycles: u64,
+        jobs_submitted: usize,
+    ) -> Self {
+        let publish_every = obs.map_or(1, |o| o.publish_every.max(1));
+        let recent_cap = obs.map_or(0, |o| o.recent_droops.max(1));
+        let recent = obs.map(|_| VecDeque::with_capacity(recent_cap.min(1_024)));
+        Self {
+            metrics,
+            tracer,
+            profiler,
+            monitor,
+            obs,
+            publish_every,
+            recent_cap,
+            recent,
+            worker_slices,
+            slice_cycles,
+            jobs_submitted,
+            book: TelemetryBook::new(),
+            running: BTreeMap::new(),
+            completed: Vec::new(),
+            segs: (0..chips).map(|_| Vec::new()).collect(),
+            admitted: 0,
+            droops: 0,
+            pending_slices: 0,
+            pending_cycles: 0,
+            epochs_merged: 0,
+            last_profile: None,
+            invariant_violations: 0,
+        }
+    }
+
+    /// The placement loop scores candidates against this book; the
+    /// decision loop must be merge-synced before reading it.
+    pub(crate) fn book(&self) -> &TelemetryBook {
+        &self.book
+    }
+
+    /// Replays one epoch record with its busy chips' logs (in
+    /// `rec.busy` order). Returns the typed overflow error when the
+    /// record ends in an admission overflow, after replaying the
+    /// admissions that preceded it — leaving metrics and trace state
+    /// exactly as the historical in-line loop left them.
+    pub(crate) fn replay(&mut self, rec: &EpochRec, logs: &[SliceLog]) -> Result<(), ServeError> {
+        let now = rec.now;
+        for job in &rec.admits {
+            self.metrics.counter_add("serve_jobs_admitted_total", 1);
+            self.admitted += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    "admit",
+                    "job",
+                    PID_JOBS,
+                    job.id,
+                    job.arrival_cycle,
+                    vec![("workload", ArgValue::from(job.workload.as_str()))],
+                );
+            }
+        }
+        if let Some((capacity, job)) = rec.overflow {
+            return Err(ServeError::QueueOverflow { capacity, job });
+        }
+        for p in &rec.places {
+            if self.tracer.is_enabled() {
+                self.tracer.complete(
+                    "queue",
+                    "job",
+                    PID_JOBS,
+                    p.spec.id,
+                    p.spec.arrival_cycle,
+                    now - p.spec.arrival_cycle,
+                    vec![
+                        ("workload", ArgValue::from(p.spec.workload.as_str())),
+                        ("chip", ArgValue::from(p.chip)),
+                        ("core", ArgValue::from(p.core)),
+                    ],
+                );
+            }
+            self.running.insert(
+                p.spec.id,
+                RunMeta {
+                    spec: p.spec.clone(),
+                    started_cycle: now,
+                    executed_cycles: 0,
+                    instructions: 0.0,
+                    attributed_droops: 0,
+                },
+            );
+        }
+        let mut epoch_cycles = 0u64;
+        let mut epoch_droops = 0u64;
+        let mut epoch_min_margin = PHASE_MARGIN_PCT;
+        let mut epoch_margin_weight = 0.0f64;
+        for (b, log) in rec.busy.iter().zip(logs) {
+            let slice = &log.stats;
+            for (core, cs) in b.cores.iter().enumerate() {
+                // The decision loop predicted this slice's completions
+                // analytically; the executor saw them for real. Any
+                // disagreement means the analytic model is wrong.
+                let predicted = cs
+                    .as_ref()
+                    .and_then(|c| if c.finishes { Some(c.job) } else { None });
+                debug_assert_eq!(
+                    log.finished[core], predicted,
+                    "analytic completion disagrees with the executor"
+                );
+            }
+            // Slice counters land here, not at execution time: shards
+            // run ahead of the merge, and obs snapshots taken at
+            // publish boundaries must count exactly the slices merged
+            // so far to stay backend-independent. They accumulate
+            // locally and flush before the next registry read.
+            self.pending_slices += 1;
+            self.pending_cycles += slice.cycles;
+            self.droops += slice.droops;
+            self.invariant_violations += log.invariant_violations;
+            if self.monitor.is_some() {
+                epoch_cycles += slice.cycles;
+                epoch_droops += slice.droops;
+                epoch_min_margin = epoch_min_margin.min(PHASE_MARGIN_PCT - slice.max_droop_pct);
+                epoch_margin_weight +=
+                    (PHASE_MARGIN_PCT + slice.mean_dev_pct) * slice.cycles as f64;
+            }
+            let dpk = slice.droops_per_kilocycle();
+            if slice.droops > 0 {
+                self.metrics.observe("droop_depth_pct", slice.max_droop_pct);
+            }
+            if self.tracer.is_enabled() {
+                for (core, cs) in b.cores.iter().enumerate() {
+                    let Some(cs) = cs else { continue };
+                    let meta = &self.running[&cs.job];
+                    self.tracer.complete(
+                        meta.spec.workload.clone(),
+                        "slice",
+                        chip_pid(b.chip),
+                        core as u64,
+                        now,
+                        slice.cycles,
+                        vec![("job", ArgValue::from(cs.job))],
+                    );
+                }
+            }
+            if self.tracer.wants_droop_events()
+                || self.profiler.is_some()
+                || self.monitor.is_some()
+                || self.obs.is_some()
+            {
+                let workloads: Vec<String> = b
+                    .cores
+                    .iter()
+                    .flatten()
+                    .map(|cs| self.running[&cs.job].spec.workload.clone())
+                    .collect();
+                // Busy chips only ever advance one slice per epoch, so
+                // every captured crossing maps onto this slice's
+                // window of the virtual clock.
+                let slice_start = log.session_start;
+                if self.tracer.wants_droop_events() || self.monitor.is_some() || self.obs.is_some()
+                {
+                    for crossing in &log.crossings {
+                        let event = DroopEvent {
+                            chip: b.chip,
+                            core: 0,
+                            cycle: now + (crossing.cycle - slice_start),
+                            depth_pct: crossing.depth_pct,
+                            workloads: workloads.clone(),
+                            phase: format!("epoch{}", rec.index),
+                        };
+                        if let Some(ring) = self.recent.as_mut() {
+                            if ring.len() == self.recent_cap {
+                                ring.pop_front();
+                            }
+                            ring.push_back(event.clone());
+                        }
+                        match (
+                            self.monitor.as_deref_mut(),
+                            self.tracer.wants_droop_events(),
+                        ) {
+                            (Some(m), true) => {
+                                self.tracer.droop(event.clone());
+                                m.on_droop(event);
+                            }
+                            (Some(m), false) => m.on_droop(event),
+                            (None, true) => self.tracer.droop(event),
+                            // Obs-only run: the ring copy above was
+                            // the sole consumer.
+                            (None, false) => {}
+                        }
+                    }
+                }
+                if let Some(m) = self.monitor.as_deref_mut() {
+                    m.on_slice(SliceRecord {
+                        start_cycle: now,
+                        chip: b.chip,
+                        label: workloads.join("+"),
+                        cycles: slice.cycles,
+                        droops: slice.droops,
+                        max_droop_pct: slice.max_droop_pct,
+                    });
+                }
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    self.segs[b.chip].push(SliceSeg {
+                        session_start: slice_start,
+                        virtual_start: now,
+                        label: workloads.join("+"),
+                    });
+                    record_windows(p, self.tracer, b.chip, &self.segs[b.chip], &log.windows);
+                }
+            }
+            for core in 0..2 {
+                let Some(cs) = &b.cores[core] else {
+                    continue;
+                };
+                let delta = &slice.core_deltas[core];
+                let meta = self.running.get_mut(&cs.job).expect("placed job tracked");
+                meta.executed_cycles += slice.cycles;
+                meta.instructions += delta.instructions();
+                meta.attributed_droops += slice.droops;
+                self.book.observe(&meta.spec.workload, delta, dpk);
+                if cs.finishes {
+                    let meta = self.running.remove(&cs.job).expect("placed job tracked");
+                    self.metrics.counter_add("serve_jobs_completed_total", 1);
+                    let finished_cycle = now + self.slice_cycles;
+                    if self.tracer.is_enabled() {
+                        self.tracer.complete(
+                            meta.spec.workload.clone(),
+                            "job",
+                            PID_JOBS,
+                            meta.spec.id,
+                            meta.started_cycle,
+                            finished_cycle - meta.started_cycle,
+                            vec![
+                                ("chip", ArgValue::from(b.chip)),
+                                ("executed_cycles", ArgValue::from(meta.executed_cycles)),
+                                ("attributed_droops", ArgValue::from(meta.attributed_droops)),
+                            ],
+                        );
+                    }
+                    self.completed.push(CompletedJob {
+                        spec: meta.spec,
+                        started_cycle: meta.started_cycle,
+                        finished_cycle,
+                        executed_cycles: meta.executed_cycles,
+                        instructions: meta.instructions,
+                        attributed_droops: meta.attributed_droops,
+                    });
+                }
+            }
+        }
+        if let Some(m) = self.monitor.as_deref_mut() {
+            // Close the monitoring epoch after the merge, with the
+            // queue state placement left behind — all decision-loop
+            // state, so the sample is backend-independent.
+            m.on_epoch(EpochSample {
+                end_cycle: now + self.slice_cycles,
+                cycles: epoch_cycles,
+                droops: epoch_droops,
+                min_margin_pct: epoch_min_margin,
+                mean_margin_pct: if epoch_cycles == 0 {
+                    PHASE_MARGIN_PCT
+                } else {
+                    epoch_margin_weight / epoch_cycles as f64
+                },
+                queue_depth: rec.queue_depth_after,
+                running_jobs: rec.running_after,
+            });
+        }
+        self.epochs_merged += 1;
+        if let Some(oc) = self.obs {
+            if self.epochs_merged.is_multiple_of(self.publish_every) {
+                self.flush_slice_counters();
+                if let Some(p) = self.profiler.as_deref() {
+                    // Refresh /profile at publish cadence, not per
+                    // epoch: report assembly is the expensive part.
+                    self.last_profile = Some(Arc::new(p.report().to_json()));
+                }
+                let status = ServiceStatus {
+                    epoch: self.epochs_merged,
+                    virtual_cycles: now + self.slice_cycles,
+                    queue_depth: rec.queue_depth_after,
+                    running_jobs: rec.running_after,
+                    jobs_submitted: self.jobs_submitted,
+                    jobs_admitted: self.admitted,
+                    jobs_completed: self.completed.len() as u64,
+                    droops: self.droops,
+                    worker_slices: self
+                        .worker_slices
+                        .iter()
+                        .map(|w| w.load(Ordering::Relaxed))
+                        .collect(),
+                    done: false,
+                };
+                oc.hub.publish(ObsSnapshot {
+                    metrics: self.metrics.snapshot(),
+                    health: self.monitor.as_deref().map(Monitor::status),
+                    service: Some(status),
+                    fleet: None,
+                    recent_droops: self.recent.iter().flatten().cloned().collect(),
+                    profile_json: self.last_profile.clone(),
+                });
+                if let Some(hook) = &oc.on_publish {
+                    hook(&oc.hub.latest());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the batched slice counters into the registry. Must run
+    /// before every registry read so the observable totals match the
+    /// per-slice adds of the historical in-line loop exactly; the
+    /// zero-pending guard keeps the series from existing before the
+    /// first slice merges, just as per-slice adds would have it.
+    fn flush_slice_counters(&mut self) {
+        if self.pending_slices > 0 {
+            self.metrics
+                .counter_add("serve_slices_total", self.pending_slices);
+            self.metrics
+                .counter_add("serve_chip_cycles_total", self.pending_cycles);
+            self.pending_slices = 0;
+            self.pending_cycles = 0;
+        }
+    }
+
+    /// End of run: final window flushes, aggregate counters and float
+    /// observations, health/profile exports, the final obs publish,
+    /// and the report. `cells` must come back from the backend in
+    /// chip order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finalize(
+        mut self,
+        mut cells: Vec<ChipCell>,
+        policy_name: String,
+        epochs: u64,
+        now: u64,
+        busy_core_quanta: u64,
+        chips: usize,
+    ) -> Result<crate::service::ServiceReport, ServeError> {
+        self.flush_slice_counters();
+        if let Some(p) = self.profiler.as_deref_mut() {
+            // Seal windows whose tail was still filling at the end of
+            // the run (their `truncated` flag records the early cut).
+            for (chip_idx, cell) in cells.iter_mut().enumerate() {
+                let windows = cell.session.flush_droop_windows();
+                record_windows(p, self.tracer, chip_idx, &self.segs[chip_idx], &windows);
+            }
+        }
+        if self.invariant_violations > 0 {
+            return Err(ServeError::InvariantViolations {
+                violations: self.invariant_violations,
+            });
+        }
+        self.metrics.counter_add("serve_droops_total", self.droops);
+        self.metrics
+            .counter_with("droops_total", &[("policy", &policy_name)], self.droops);
+        // Float observations only here, on the coordinator, in
+        // completion order — see the module docs on determinism.
+        for job in &self.completed {
+            self.metrics
+                .observe("serve_queue_wait_cycles", job.queue_wait_cycles() as f64);
+            self.metrics.observe(
+                "queue_wait_kcycles",
+                job.queue_wait_cycles() as f64 / 1000.0,
+            );
+            self.metrics.observe(
+                "job_latency_kcycles",
+                (job.finished_cycle - job.spec.arrival_cycle) as f64 / 1000.0,
+            );
+            self.metrics.observe("serve_job_ipc", job.ipc());
+        }
+        let chip_cycles: u64 = cells.iter().map(|c| c.session.measured_cycles()).sum();
+        let core_quanta_available = 2 * chips as u64 * epochs;
+        let utilization = if core_quanta_available == 0 {
+            0.0
+        } else {
+            busy_core_quanta as f64 / core_quanta_available as f64
+        };
+        self.metrics
+            .gauge_set("serve_chip_utilization", utilization);
+        self.metrics
+            .gauge_set("serve_warmed_profiles", self.book.warmed() as f64);
+        if let Some(p) = self.profiler.as_deref() {
+            // Attribution series land in the same snapshot the report
+            // embeds, so `droop_attribution_total{event=...}` shows up
+            // in the rendered metrics and the Prometheus exposition.
+            let report = p.report();
+            report.export_metrics(self.metrics);
+            if self.obs.is_some() {
+                // The final /profile body includes the end-of-run
+                // flushed windows the periodic refreshes could not see.
+                self.last_profile = Some(Arc::new(report.to_json()));
+            }
+        }
+        let health = self.monitor.as_deref().map(Monitor::report);
+        if let Some(h) = &health {
+            // alerts_total{rule,severity} and the monitor_* gauges land
+            // in the same snapshot the report embeds.
+            h.export_metrics(self.metrics);
+            if self.tracer.is_enabled() {
+                for alert in &h.alerts {
+                    self.tracer.instant(
+                        alert.rule.clone(),
+                        "alert",
+                        PID_MONITOR,
+                        0,
+                        alert.fired_at_cycle,
+                        vec![
+                            ("severity", ArgValue::from(alert.severity.label())),
+                            ("droops", ArgValue::from(alert.window.droops)),
+                        ],
+                    );
+                    if let Some(resolved) = alert.resolved_at_cycle {
+                        self.tracer.instant(
+                            alert.rule.clone(),
+                            "alert-resolved",
+                            PID_MONITOR,
+                            0,
+                            resolved,
+                            vec![("severity", ArgValue::from(alert.severity.label()))],
+                        );
+                    }
+                }
+            }
+        }
+        if self.tracer.is_streaming() {
+            // The telemetry pipeline observes itself: drop/flush/
+            // sampler counters land in the same snapshot the report
+            // embeds. Only streaming tracers add these series, so
+            // non-streaming runs keep their exact historical renders.
+            self.tracer.export_telemetry(self.metrics);
+        }
+        let snapshot = self.metrics.snapshot();
+        if let Some(oc) = self.obs {
+            // Final publish: the complete end-of-run registry (alert
+            // counters, monitor gauges, attribution series included),
+            // final health, and `done: true` — so post-run scrapes see
+            // the finished state instead of the last periodic sample.
+            oc.hub.publish(ObsSnapshot {
+                metrics: snapshot.clone(),
+                health: self.monitor.as_deref().map(Monitor::status),
+                service: Some(ServiceStatus {
+                    epoch: epochs,
+                    virtual_cycles: now,
+                    queue_depth: 0,
+                    running_jobs: 0,
+                    jobs_submitted: self.jobs_submitted,
+                    jobs_admitted: self.admitted,
+                    jobs_completed: self.completed.len() as u64,
+                    droops: self.droops,
+                    worker_slices: self
+                        .worker_slices
+                        .iter()
+                        .map(|w| w.load(Ordering::Relaxed))
+                        .collect(),
+                    done: true,
+                }),
+                fleet: None,
+                recent_droops: self.recent.iter().flatten().cloned().collect(),
+                profile_json: self.last_profile.clone(),
+            });
+            if let Some(hook) = &oc.on_publish {
+                hook(&oc.hub.latest());
+            }
+        }
+        let completed = self.completed;
+        let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
+            if completed.is_empty() {
+                0.0
+            } else {
+                completed.iter().map(f).sum::<f64>() / completed.len() as f64
+            }
+        };
+        Ok(crate::service::ServiceReport {
+            policy: policy_name,
+            jobs_submitted: self.jobs_submitted,
+            jobs_completed: completed.len(),
+            virtual_cycles: now,
+            epochs,
+            chip_cycles,
+            droops: self.droops,
+            droops_per_kilocycle: if chip_cycles == 0 {
+                0.0
+            } else {
+                self.droops as f64 * 1000.0 / chip_cycles as f64
+            },
+            mean_queue_wait_cycles: mean(&|j| j.queue_wait_cycles() as f64),
+            chip_utilization: utilization,
+            throughput_jobs_per_mcycle: if now == 0 {
+                0.0
+            } else {
+                completed.len() as f64 * 1e6 / now as f64
+            },
+            mean_ipc: mean(&|j| j.ipc()),
+            warmed_profiles: self.book.warmed(),
+            metrics: snapshot.render(),
+            snapshot,
+            completed,
+            health: health.as_ref().map(HealthReport::summary),
+        })
+    }
+}
+
+/// Scores freshly sealed capture windows into the profiler and emits
+/// them as trace spans. Each window is labeled by the slice it
+/// triggered in (found in `segs`, which is ordered by session clock)
+/// and mapped onto the virtual clock through that slice's offset.
+fn record_windows(
+    profiler: &mut Profiler,
+    tracer: &Tracer,
+    chip_idx: usize,
+    segs: &[SliceSeg],
+    windows: &[DroopWindow],
+) {
+    for window in windows {
+        let seg = segs
+            .iter()
+            .rev()
+            .find(|s| s.session_start <= window.trigger_cycle)
+            .expect("windows only trigger inside recorded slices");
+        let att = profiler.record(&seg.label, window);
+        if tracer.is_enabled() {
+            let virtual_trigger = seg.virtual_start + (window.trigger_cycle - seg.session_start);
+            let ts = virtual_trigger.saturating_sub(window.trigger_cycle - window.start_cycle);
+            emit_window_span(tracer, chip_pid(chip_idx), PROFILE_TID, ts, window, &att);
+        }
+    }
+}

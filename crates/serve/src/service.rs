@@ -1,44 +1,70 @@
 //! The scheduling service: admission queue → policy-paired placement
 //! → sliced chip simulation → telemetry feedback, epoch by epoch.
 //!
+//! # Architecture
+//!
+//! Since the shard-per-worker refactor the service is split in three:
+//!
+//! * **The decision loop** (this module) owns all scheduling state —
+//!   the pending/ready queues, a shadow of every chip's occupancy, and
+//!   the telemetry book scores read at placement. It never touches an
+//!   artifact sink; each epoch's decisions are recorded as an
+//!   [`EpochRec`] and execution is delegated to a [`Backend`].
+//! * **The execution backend** (`crate::shard`) advances chips:
+//!   in-line on this thread (the reference backend) or on a pool of
+//!   long-lived shard workers with per-shard run queues and
+//!   work-stealing (the throughput backend, see
+//!   [`RuntimeMode`]). Executors return one `SliceLog` per granted
+//!   slice.
+//! * **The merge layer** (`crate::merge`) replays epoch records
+//!   against slice logs in `(epoch, chip)` order, reconstructing
+//!   metrics, trace records, monitor feed, profiler attribution and
+//!   obs snapshots in exactly the order the historical
+//!   single-coordinator loop produced them.
+//!
 //! # Determinism
 //!
 //! The service is deterministic for a fixed configuration, job stream
-//! and policy, *independent of the worker-thread count*:
+//! and policy, *independent of the worker count and runtime mode*:
 //!
-//! * Scheduling decisions (admission, pairing, placement) happen on
-//!   the coordinator between epochs, never concurrently.
-//! * Workers only advance disjoint chips; their [`SliceStats`] are
-//!   slotted by chip index and merged in index order.
-//! * Worker-side metrics are exact integer counter sums (commutative);
-//!   every float observation (gauges, histograms, EWMA folds) is
-//!   recorded by the coordinator in a fixed order.
+//! * Scheduling decisions (admission, pairing, placement) happen in
+//!   the decision loop between epochs, never concurrently, and the
+//!   loop syncs the merge through every prior epoch before any
+//!   decision that reads the telemetry book.
+//! * Executors only advance disjoint chips; their logs are keyed
+//!   `(epoch, chip)` and merged in that order regardless of which
+//!   shard ran what, when, or how much work was stolen.
+//! * Every float observation (gauges, histograms, EWMA folds) is
+//!   recorded by the merge layer in a fixed order.
 //!
-//! The invariance is enforced by test: the rendered [`ServiceReport`]
-//! must be byte-identical for 1, 2 and 8 workers.
+//! The invariance is enforced by test twice over: the in-file tests
+//! pin reports/traces/profiles/health across worker counts, and
+//! `tests/shard_equivalence.rs` differentially tests the shard runtime
+//! against the in-line coordinator backend at 1/2/4/8 shards for five
+//! artifact classes, byte for byte.
 
+use crate::control::{BusyChip, CellJob, CoreSlice, EpochRec, PlaceRec, RuntimeMode, SliceLog};
 use crate::job::{CompletedJob, JobSpec};
+use crate::merge::{Merge, PROFILE_TID};
+use crate::shard::{Backend, ChipCell, DrainPlan};
 use crate::telemetry::TelemetryBook;
 use crate::ServeError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
-    Chip, ChipConfig, ChipError, ChipSession, DroopWindow, SliceStats, WindowConfig,
-    PHASE_MARGIN_PCT,
+    Chip, ChipConfig, ChipSession, InvariantConfig, WindowConfig, PHASE_MARGIN_PCT,
 };
-use vsmooth_monitor::{
-    EpochSample, HealthReport, HealthSummary, Monitor, MonitorConfig, SliceRecord,
-};
-use vsmooth_obs::{ObsConfig, ObsSnapshot, ServiceStatus};
-use vsmooth_profile::{emit_window_span, ProfileConfig, ProfileReport, Profiler};
+use vsmooth_monitor::{HealthReport, HealthSummary, Monitor, MonitorConfig};
+use vsmooth_obs::ObsConfig;
+use vsmooth_profile::{ProfileConfig, ProfileReport, Profiler};
 use vsmooth_sched::PairPolicy;
 use vsmooth_stats::{MetricsRegistry, MetricsSnapshot};
-use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS, PID_MONITOR};
+use vsmooth_trace::{chip_pid, Tracer, PID_JOBS, PID_MONITOR};
 use vsmooth_uarch::{IdleLoop, StimulusSource};
-use vsmooth_workload::{by_name, EventStream};
+use vsmooth_workload::by_name;
 
 /// Static configuration of a service instance.
 #[derive(Debug, Clone)]
@@ -59,17 +85,26 @@ pub struct ServiceConfig {
     /// leaves the queue unbounded, preserving historical behavior.
     pub queue_capacity: Option<usize>,
     /// Live-observation wiring: when set, the coordinator publishes
-    /// [`ObsSnapshot`]s into the configured hub at the configured
-    /// epoch cadence, feeding the `vsmooth-obs` scrape endpoints.
-    /// Publishing is strictly observational — the report, trace and
-    /// health artifacts of a run are byte-identical with or without
-    /// it (enforced by test).
+    /// [`ObsSnapshot`](vsmooth_obs::ObsSnapshot)s into the configured
+    /// hub at the configured epoch cadence, feeding the `vsmooth-obs`
+    /// scrape endpoints. Publishing is strictly observational — the
+    /// report, trace and health artifacts of a run are byte-identical
+    /// with or without it (enforced by test).
     pub obs: Option<ObsConfig>,
+    /// How the `workers` argument of [`Service::run`] maps onto an
+    /// execution backend; [`RuntimeMode::Auto`] (the default) uses the
+    /// shard runtime whenever `workers >= 2`.
+    pub runtime: RuntimeMode,
+    /// Arm the per-chip physical-invariant checker
+    /// ([`vsmooth_chip::InvariantConfig`]) for the run; any flagged
+    /// violation fails the run with
+    /// [`ServeError::InvariantViolations`]. Off by default.
+    pub invariants: bool,
 }
 
 impl ServiceConfig {
     /// A small default pool: 4 chips, 2 000-cycle quanta, window 16,
-    /// unbounded admission queue.
+    /// unbounded admission queue, automatic runtime selection.
     pub fn new(chip: ChipConfig) -> Self {
         Self {
             chip,
@@ -78,64 +113,33 @@ impl ServiceConfig {
             pairing_window: 16,
             queue_capacity: None,
             obs: None,
+            runtime: RuntimeMode::Auto,
+            invariants: false,
         }
     }
 }
 
-/// A job currently occupying a core.
+/// A job as the decision loop tracks it: static spec plus analytic
+/// progress. Streams advance exactly one cycle per simulated cycle and
+/// never loop here, so `executed_cycles >= total_cycles` is precisely
+/// [`EventStream::is_finished`](vsmooth_workload::EventStream) — the
+/// loop never needs to see the stream to know when a job ends.
 #[derive(Debug)]
-struct RunningJob {
+struct ShadowJob {
     spec: JobSpec,
-    stream: EventStream,
-    started_cycle: u64,
+    total_cycles: u64,
     executed_cycles: u64,
-    instructions: f64,
-    attributed_droops: u64,
 }
 
-/// One executed slice of one chip, remembered so droop windows that
-/// seal later (their tail crosses a slice boundary, or the run ends)
-/// can still be labeled with the jobs that were resident at the
-/// trigger and mapped back onto the virtual clock.
-#[derive(Debug)]
-struct SliceSeg {
-    /// Session clock at the start of the slice.
-    session_start: u64,
-    /// Virtual clock at the start of the slice.
-    virtual_start: u64,
-    /// Workloads resident during the slice, joined with `+`.
-    label: String,
+/// The decision loop's occupancy shadow of one pool chip.
+#[derive(Debug, Default)]
+struct ShadowChip {
+    cores: [Option<ShadowJob>; 2],
 }
 
-/// One pool member: a warmed-up measurement session plus whatever is
-/// running on its two cores.
-#[derive(Debug)]
-struct ChipSlot {
-    session: ChipSession,
-    cores: [Option<RunningJob>; 2],
-    idle: [IdleLoop; 2],
-}
-
-impl ChipSlot {
+impl ShadowChip {
     fn occupied(&self) -> usize {
         self.cores.iter().filter(|c| c.is_some()).count()
-    }
-
-    /// Advances this chip by one quantum; empty cores run the idle
-    /// loop, exactly like an OS idle thread.
-    fn run_slice(&mut self, cycles: u64) -> Result<SliceStats, ChipError> {
-        let [c0, c1] = &mut self.cores;
-        let [i0, i1] = &mut self.idle;
-        let s0: &mut dyn StimulusSource = match c0 {
-            Some(job) => &mut job.stream,
-            None => i0,
-        };
-        let s1: &mut dyn StimulusSource = match c1 {
-            Some(job) => &mut job.stream,
-            None => i1,
-        };
-        let mut sources: Vec<&mut dyn StimulusSource> = vec![s0, s1];
-        self.session.run_slice(&mut sources, cycles)
     }
 }
 
@@ -275,8 +279,13 @@ impl Service {
         &self.cfg
     }
 
-    /// Runs `jobs` to completion under `policy`, fanning chip
-    /// simulation out over `workers` OS threads, and reports.
+    /// Runs `jobs` to completion under `policy` and reports. `workers`
+    /// sizes the execution backend per
+    /// [`ServiceConfig::runtime`]: with the default
+    /// [`RuntimeMode::Auto`], `workers >= 2` runs one long-lived shard
+    /// worker per count (chips round-robin across shards,
+    /// work-stealing balances skew), while `workers <= 1` advances
+    /// chips in-line on the calling thread.
     ///
     /// # Errors
     ///
@@ -299,13 +308,15 @@ impl Service {
     ///   named after the workload from start to completion;
     /// * per-slice spans on each chip's timeline (one per occupied
     ///   core per epoch);
-    /// * in [`vsmooth_trace::TraceMode::Full`], a typed [`DroopEvent`]
-    ///   for every margin crossing, drained from the chip sessions by
-    ///   the coordinator in chip-index order.
+    /// * in [`vsmooth_trace::TraceMode::Full`], a typed
+    ///   [`DroopEvent`](vsmooth_trace::DroopEvent) for every margin
+    ///   crossing, replayed from the slice logs in `(epoch, chip)`
+    ///   order.
     ///
     /// All trace timestamps are virtual cycles and every record is
-    /// emitted from the coordinator, so the trace byte stream is
-    /// independent of `workers` (the same invariance the report has).
+    /// emitted by the merge layer, so the trace byte stream is
+    /// independent of `workers` and of the runtime mode (the same
+    /// invariance the report has).
     ///
     /// # Errors
     ///
@@ -322,14 +333,15 @@ impl Service {
 
     /// Like [`Service::run_traced`], but additionally profiles every
     /// droop: each margin crossing freezes a triggered waveform window
-    /// ([`DroopWindow`]) that is scored into a per-co-schedule
-    /// [`ProfileReport`] (labels are the resident workloads joined with
-    /// `+`). Capture windows also appear as `droop_window` spans on a
-    /// dedicated `profile` thread of each chip's trace timeline.
+    /// ([`vsmooth_chip::DroopWindow`]) that is scored into a
+    /// per-co-schedule [`ProfileReport`] (labels are the resident
+    /// workloads joined with `+`). Capture windows also appear as
+    /// `droop_window` spans on a dedicated `profile` thread of each
+    /// chip's trace timeline.
     ///
-    /// Windows are drained and scored coordinator-side in chip-index
-    /// order, so the profile artifact — like the report and the trace —
-    /// is byte-identical for any worker count.
+    /// Windows are scored by the merge layer in `(epoch, chip)` order,
+    /// so the profile artifact — like the report and the trace — is
+    /// byte-identical for any worker count.
     ///
     /// # Errors
     ///
@@ -355,9 +367,9 @@ impl Service {
     /// rules — and a flight recorder seals a `vsmooth-postmortem-v1`
     /// bundle the moment any rule fires.
     ///
-    /// All monitor feeding happens on the coordinator in chip-index
-    /// order, so the alert sequence, the [`HealthReport`] JSON, and
-    /// every postmortem bundle are byte-identical for any worker
+    /// All monitor feeding happens in the merge layer in `(epoch,
+    /// chip)` order, so the alert sequence, the [`HealthReport`] JSON,
+    /// and every postmortem bundle are byte-identical for any worker
     /// count. The returned [`ServiceReport`] carries the compact
     /// digest in [`ServiceReport::health`], and the registry snapshot
     /// includes `alerts_total{rule,severity}` plus the `monitor_*`
@@ -386,7 +398,7 @@ impl Service {
         workers: usize,
         tracer: &Tracer,
         mut profiler: Option<&mut Profiler>,
-        mut monitor: Option<&mut Monitor>,
+        monitor: Option<&mut Monitor>,
     ) -> Result<ServiceReport, ServeError> {
         for job in jobs {
             if by_name(&job.workload).is_none() {
@@ -412,21 +424,17 @@ impl Service {
             "Admission-queue wait per completed job, kilocycles.",
         );
         let obs = self.cfg.obs.as_ref();
-        let publish_every = obs.map_or(1, |o| o.publish_every.max(1));
-        let recent_cap = obs.map_or(0, |o| o.recent_droops.max(1));
-        // The /trace/recent ring: an independent coordinator-side copy
-        // of recent crossings. The tracer's own ring is never drained
-        // here — `take_records(&mut self)` stays exporter-owned.
-        let mut recent: Option<VecDeque<DroopEvent>> =
-            obs.map(|_| VecDeque::with_capacity(recent_cap.min(1_024)));
         // Per-worker slice tallies for /status. Work stealing makes
         // the split nondeterministic, so they go only into published
         // snapshots, never into the deterministic report.
-        let worker_slices: Vec<AtomicU64> =
-            (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect();
-        let mut admitted = 0u64;
-        let mut last_profile: Option<Arc<String>> = None;
-        let mut slots = self.build_pool()?;
+        let worker_slices: Arc<Vec<AtomicU64>> =
+            Arc::new((0..workers.max(1)).map(|_| AtomicU64::new(0)).collect());
+        let sharded = match self.cfg.runtime {
+            RuntimeMode::Auto => workers >= 2,
+            RuntimeMode::Coordinator => false,
+            RuntimeMode::Sharded => true,
+        };
+        let mut cells = self.build_pool(sharded)?;
         if tracer.is_enabled() {
             tracer.process_name(PID_JOBS, "jobs");
             for c in 0..self.cfg.chips {
@@ -457,442 +465,212 @@ impl Service {
                 capture_currents: false,
                 ..p.config().window
             };
-            for slot in &mut slots {
-                slot.session.enable_profiling(margin, window);
+            for cell in &mut cells {
+                cell.session.enable_profiling(margin, window);
             }
         } else if tracer.wants_droop_events() || monitor.is_some() || obs.is_some() {
-            for slot in &mut slots {
-                slot.session.capture_droops(margin);
+            for cell in &mut cells {
+                cell.session.capture_droops(margin);
             }
         }
-        // Per-chip slice history for late-sealing window labels.
-        let mut segs: Vec<Vec<SliceSeg>> = (0..self.cfg.chips).map(|_| Vec::new()).collect();
+        if self.cfg.invariants {
+            for cell in &mut cells {
+                cell.session.enable_invariants(InvariantConfig::default());
+            }
+        }
+        let drain = DrainPlan {
+            crossings: tracer.wants_droop_events()
+                || profiler.is_some()
+                || monitor.is_some()
+                || obs.is_some(),
+            windows: profiler.is_some(),
+            invariants: self.cfg.invariants,
+        };
+        let mut backend = if sharded {
+            Backend::sharded(
+                cells,
+                workers.max(1),
+                Arc::clone(&worker_slices),
+                self.cfg.slice_cycles,
+                drain,
+            )
+        } else {
+            Backend::inline(
+                cells,
+                Arc::clone(&worker_slices),
+                self.cfg.slice_cycles,
+                drain,
+            )
+        };
+        let mut merge = Merge::new(
+            &metrics,
+            tracer,
+            profiler,
+            monitor,
+            obs,
+            Arc::clone(&worker_slices),
+            self.cfg.chips,
+            self.cfg.slice_cycles,
+            jobs.len(),
+        );
         let mut pending: VecDeque<JobSpec> = {
             let mut sorted = jobs.to_vec();
             sorted.sort_by_key(|j| (j.arrival_cycle, j.id));
             sorted.into()
         };
         let mut ready: VecDeque<JobSpec> = VecDeque::new();
-        let mut book = TelemetryBook::new();
-        let mut completed: Vec<CompletedJob> = Vec::with_capacity(jobs.len());
+        let mut shadows: Vec<ShadowChip> =
+            (0..self.cfg.chips).map(|_| ShadowChip::default()).collect();
+        // The epoch script: `script[e]` is epoch `e`'s record, replayed
+        // by the merge layer once the epoch's slice logs are in.
+        let mut script: Vec<EpochRec> = Vec::new();
+        let mut merged = 0u64;
         let mut now = 0u64;
         let mut epochs = 0u64;
         let mut busy_core_quanta = 0u64;
-        let mut droops = 0u64;
+        let mut finished_jobs = 0usize;
 
-        while completed.len() < jobs.len() {
+        while finished_jobs < jobs.len() {
+            let mut rec = EpochRec::new(epochs, now);
             while pending.front().is_some_and(|j| j.arrival_cycle <= now) {
                 let job = pending.pop_front().expect("front checked");
                 if let Some(capacity) = self.cfg.queue_capacity {
                     if ready.len() >= capacity {
+                        // Overflow: replay everything decided so far
+                        // plus this epoch's partial admissions, so
+                        // metrics and trace state end exactly where
+                        // the historical in-line loop left them, then
+                        // surface the typed error.
+                        let overflowing = job.id;
+                        rec.overflow = Some((capacity, overflowing));
+                        script.push(rec);
+                        backend.wait_through(epochs)?;
+                        for r in &script[merged as usize..] {
+                            drive_epoch(&mut merge, &mut backend, r)?;
+                        }
                         return Err(ServeError::QueueOverflow {
                             capacity,
-                            job: job.id,
+                            job: overflowing,
                         });
                     }
                 }
-                metrics.counter_add("serve_jobs_admitted_total", 1);
-                admitted += 1;
-                if tracer.is_enabled() {
-                    tracer.instant(
-                        "admit",
-                        "job",
-                        PID_JOBS,
-                        job.id,
-                        job.arrival_cycle,
-                        vec![("workload", ArgValue::from(job.workload.as_str()))],
-                    );
-                }
+                rec.admits.push(job.clone());
                 ready.push_back(job);
             }
-            let any_running = slots.iter().any(|s| s.occupied() > 0);
+            let any_running = shadows.iter().any(|s| s.occupied() > 0);
             if !any_running && ready.is_empty() {
                 // Pool drained, queue empty: jump to the next arrival.
+                // Discarding the record loses nothing — an admission
+                // this iteration would have left `ready` non-empty.
+                debug_assert!(rec.admits.is_empty(), "admitted jobs must reach the queue");
                 now = pending.front().expect("jobs remain").arrival_cycle;
                 continue;
             }
-            self.place(&mut slots, &mut ready, &book, policy, now, tracer)?;
-
-            let busy: Vec<usize> = slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.occupied() > 0)
-                .map(|(i, _)| i)
-                .collect();
-            busy_core_quanta += busy
-                .iter()
-                .map(|&i| slots[i].occupied() as u64)
-                .sum::<u64>();
-            let slices = run_epoch(
-                &mut slots,
-                &busy,
-                workers,
-                self.cfg.slice_cycles,
-                &metrics,
-                &worker_slices,
-            )?;
-
-            // Coordinator merge, strictly in chip-index order. Trace
-            // records and float observations happen only here, so the
-            // emitted stream is worker-count-independent.
-            let mut epoch_cycles = 0u64;
-            let mut epoch_droops = 0u64;
-            let mut epoch_min_margin = PHASE_MARGIN_PCT;
-            let mut epoch_margin_weight = 0.0f64;
-            for (&chip_idx, slice) in busy.iter().zip(&slices) {
-                droops += slice.droops;
-                if monitor.is_some() {
-                    epoch_cycles += slice.cycles;
-                    epoch_droops += slice.droops;
-                    epoch_min_margin = epoch_min_margin.min(PHASE_MARGIN_PCT - slice.max_droop_pct);
-                    epoch_margin_weight +=
-                        (PHASE_MARGIN_PCT + slice.mean_dev_pct) * slice.cycles as f64;
+            if !ready.is_empty() && shadows.iter().any(|s| s.occupied() < 2) {
+                // Placement is about to read the telemetry book: sync
+                // the merge through every prior epoch first, so the
+                // pairing scores see exactly the observations the
+                // historical loop would have folded by now.
+                backend.wait_through(epochs)?;
+                while merged < epochs {
+                    drive_epoch(&mut merge, &mut backend, &script[merged as usize])?;
+                    merged += 1;
                 }
-                let dpk = slice.droops_per_kilocycle();
-                if slice.droops > 0 {
-                    metrics.observe("droop_depth_pct", slice.max_droop_pct);
+                self.place(
+                    &mut shadows,
+                    &mut ready,
+                    merge.book(),
+                    policy,
+                    &mut rec,
+                    &mut backend,
+                )?;
+            }
+            for (chip, shadow) in shadows.iter_mut().enumerate() {
+                let occupied = shadow.occupied();
+                if occupied == 0 {
+                    continue;
                 }
-                let slot = &mut slots[chip_idx];
-                if tracer.is_enabled() {
-                    for (core, job) in slot.cores.iter().enumerate() {
-                        let Some(job) = job else { continue };
-                        tracer.complete(
-                            job.spec.workload.clone(),
-                            "slice",
-                            chip_pid(chip_idx),
-                            core as u64,
-                            now,
-                            slice.cycles,
-                            vec![("job", ArgValue::from(job.spec.id))],
-                        );
-                    }
-                }
-                if tracer.wants_droop_events()
-                    || profiler.is_some()
-                    || monitor.is_some()
-                    || obs.is_some()
-                {
-                    let workloads: Vec<String> = slot
-                        .cores
-                        .iter()
-                        .flatten()
-                        .map(|j| j.spec.workload.clone())
-                        .collect();
-                    // Busy chips only ever advance one slice per epoch,
-                    // so every captured crossing maps onto this slice's
-                    // window of the virtual clock.
-                    let slice_start = slot.session.measured_cycles() - slice.cycles;
-                    let crossings = slot.session.take_droop_crossings();
-                    if tracer.wants_droop_events() || monitor.is_some() || obs.is_some() {
-                        for crossing in &crossings {
-                            let event = DroopEvent {
-                                chip: chip_idx,
-                                core: 0,
-                                cycle: now + (crossing.cycle - slice_start),
-                                depth_pct: crossing.depth_pct,
-                                workloads: workloads.clone(),
-                                phase: format!("epoch{epochs}"),
-                            };
-                            if let Some(ring) = recent.as_mut() {
-                                if ring.len() == recent_cap {
-                                    ring.pop_front();
-                                }
-                                ring.push_back(event.clone());
-                            }
-                            match (monitor.as_deref_mut(), tracer.wants_droop_events()) {
-                                (Some(m), true) => {
-                                    tracer.droop(event.clone());
-                                    m.on_droop(event);
-                                }
-                                (Some(m), false) => m.on_droop(event),
-                                (None, true) => tracer.droop(event),
-                                // Obs-only run: the ring copy above was
-                                // the sole consumer.
-                                (None, false) => {}
-                            }
+                busy_core_quanta += occupied as u64;
+                let mut cores = [None, None];
+                for (core, slot) in shadow.cores.iter_mut().enumerate() {
+                    if let Some(job) = slot {
+                        job.executed_cycles += self.cfg.slice_cycles;
+                        let finishes = job.executed_cycles >= job.total_cycles;
+                        cores[core] = Some(CoreSlice {
+                            job: job.spec.id,
+                            finishes,
+                        });
+                        if finishes {
+                            *slot = None;
+                            finished_jobs += 1;
                         }
                     }
-                    if let Some(m) = monitor.as_deref_mut() {
-                        m.on_slice(SliceRecord {
-                            start_cycle: now,
-                            chip: chip_idx,
-                            label: workloads.join("+"),
-                            cycles: slice.cycles,
-                            droops: slice.droops,
-                            max_droop_pct: slice.max_droop_pct,
-                        });
-                    }
-                    if let Some(p) = profiler.as_deref_mut() {
-                        segs[chip_idx].push(SliceSeg {
-                            session_start: slice_start,
-                            virtual_start: now,
-                            label: workloads.join("+"),
-                        });
-                        let windows = slot.session.take_droop_windows();
-                        record_windows(p, tracer, chip_idx, &segs[chip_idx], &windows);
-                    }
                 }
-                for core in 0..2 {
-                    let Some(job) = &mut slot.cores[core] else {
-                        continue;
-                    };
-                    let delta = &slice.core_deltas[core];
-                    job.executed_cycles += slice.cycles;
-                    job.instructions += delta.instructions();
-                    job.attributed_droops += slice.droops;
-                    book.observe(&job.spec.workload, delta, dpk);
-                    if job.stream.is_finished() {
-                        let job = slot.cores[core].take().expect("job present");
-                        metrics.counter_add("serve_jobs_completed_total", 1);
-                        let finished_cycle = now + self.cfg.slice_cycles;
-                        if tracer.is_enabled() {
-                            tracer.complete(
-                                job.spec.workload.clone(),
-                                "job",
-                                PID_JOBS,
-                                job.spec.id,
-                                job.started_cycle,
-                                finished_cycle - job.started_cycle,
-                                vec![
-                                    ("chip", ArgValue::from(chip_idx)),
-                                    ("executed_cycles", ArgValue::from(job.executed_cycles)),
-                                    ("attributed_droops", ArgValue::from(job.attributed_droops)),
-                                ],
-                            );
-                        }
-                        completed.push(CompletedJob {
-                            spec: job.spec,
-                            started_cycle: job.started_cycle,
-                            finished_cycle,
-                            executed_cycles: job.executed_cycles,
-                            instructions: job.instructions,
-                            attributed_droops: job.attributed_droops,
-                        });
-                    }
-                }
+                rec.busy.push(BusyChip { chip, cores });
             }
-            if let Some(m) = monitor.as_deref_mut() {
-                // Close the monitoring epoch after the merge, with the
-                // queue state placement left behind — all coordinator
-                // state, so the sample is worker-count-independent.
-                m.on_epoch(EpochSample {
-                    end_cycle: now + self.cfg.slice_cycles,
-                    cycles: epoch_cycles,
-                    droops: epoch_droops,
-                    min_margin_pct: epoch_min_margin,
-                    mean_margin_pct: if epoch_cycles == 0 {
-                        PHASE_MARGIN_PCT
-                    } else {
-                        epoch_margin_weight / epoch_cycles as f64
-                    },
-                    queue_depth: ready.len(),
-                    running_jobs: slots.iter().map(ChipSlot::occupied).sum(),
-                });
-            }
+            let busy_chips: Vec<usize> = rec.busy.iter().map(|b| b.chip).collect();
+            backend.grant(epochs, &busy_chips)?;
+            rec.queue_depth_after = ready.len();
+            rec.running_after = shadows.iter().map(ShadowChip::occupied).sum();
+            script.push(rec);
             now += self.cfg.slice_cycles;
             epochs += 1;
+            // Opportunistic merge: replay every epoch whose logs are
+            // already in. Keeps obs publishes flowing while shards
+            // work, bounds retained logs, and — on the in-line
+            // backend, where logs are always ready — runs the merge in
+            // exact lockstep with the historical loop.
+            while merged < epochs && backend.ready_through(merged + 1)? {
+                drive_epoch(&mut merge, &mut backend, &script[merged as usize])?;
+                merged += 1;
+            }
             if let Some(oc) = obs {
-                if epochs.is_multiple_of(publish_every) {
-                    if let Some(p) = profiler.as_deref() {
-                        // Refresh /profile at publish cadence, not per
-                        // epoch: report assembly is the expensive part.
-                        last_profile = Some(Arc::new(p.report().to_json()));
-                    }
-                    let status = ServiceStatus {
-                        epoch: epochs,
-                        virtual_cycles: now,
-                        queue_depth: ready.len(),
-                        running_jobs: slots.iter().map(ChipSlot::occupied).sum(),
-                        jobs_submitted: jobs.len(),
-                        jobs_admitted: admitted,
-                        jobs_completed: completed.len() as u64,
-                        droops,
-                        worker_slices: worker_slices
-                            .iter()
-                            .map(|w| w.load(Ordering::Relaxed))
-                            .collect(),
-                        done: false,
-                    };
-                    oc.hub.publish(ObsSnapshot {
-                        metrics: metrics.snapshot(),
-                        health: monitor.as_deref().map(Monitor::status),
-                        service: Some(status),
-                        fleet: None,
-                        recent_droops: recent.iter().flatten().cloned().collect(),
-                        profile_json: last_profile.clone(),
-                    });
-                    if let Some(hook) = &oc.on_publish {
-                        hook(&oc.hub.latest());
-                    }
-                }
                 if let Some(pace) = oc.pace {
                     std::thread::sleep(pace);
                 }
             }
         }
-
-        if let Some(p) = profiler.as_deref_mut() {
-            // Seal windows whose tail was still filling at the end of
-            // the run (their `truncated` flag records the early cut).
-            for (chip_idx, slot) in slots.iter_mut().enumerate() {
-                let windows = slot.session.flush_droop_windows();
-                record_windows(p, tracer, chip_idx, &segs[chip_idx], &windows);
-            }
+        backend.wait_through(epochs)?;
+        while merged < epochs {
+            drive_epoch(&mut merge, &mut backend, &script[merged as usize])?;
+            merged += 1;
         }
-        metrics.counter_add("serve_droops_total", droops);
-        metrics.counter_with("droops_total", &[("policy", &policy.name())], droops);
-        // Float observations only here, on the coordinator, in
-        // completion order — see the module docs on determinism.
-        for job in &completed {
-            metrics.observe("serve_queue_wait_cycles", job.queue_wait_cycles() as f64);
-            metrics.observe(
-                "queue_wait_kcycles",
-                job.queue_wait_cycles() as f64 / 1000.0,
-            );
-            metrics.observe(
-                "job_latency_kcycles",
-                (job.finished_cycle - job.spec.arrival_cycle) as f64 / 1000.0,
-            );
-            metrics.observe("serve_job_ipc", job.ipc());
-        }
-        let chip_cycles: u64 = slots.iter().map(|s| s.session.measured_cycles()).sum();
-        let core_quanta_available = 2 * self.cfg.chips as u64 * epochs;
-        let utilization = if core_quanta_available == 0 {
-            0.0
-        } else {
-            busy_core_quanta as f64 / core_quanta_available as f64
-        };
-        metrics.gauge_set("serve_chip_utilization", utilization);
-        metrics.gauge_set("serve_warmed_profiles", book.warmed() as f64);
-        if let Some(p) = profiler.as_deref() {
-            // Attribution series land in the same snapshot the report
-            // embeds, so `droop_attribution_total{event=...}` shows up
-            // in the rendered metrics and the Prometheus exposition.
-            let report = p.report();
-            report.export_metrics(&metrics);
-            if obs.is_some() {
-                // The final /profile body includes the end-of-run
-                // flushed windows the periodic refreshes could not see.
-                last_profile = Some(Arc::new(report.to_json()));
-            }
-        }
-        let health = monitor.as_deref().map(Monitor::report);
-        if let Some(h) = &health {
-            // alerts_total{rule,severity} and the monitor_* gauges land
-            // in the same snapshot the report embeds.
-            h.export_metrics(&metrics);
-            if tracer.is_enabled() {
-                for alert in &h.alerts {
-                    tracer.instant(
-                        alert.rule.clone(),
-                        "alert",
-                        PID_MONITOR,
-                        0,
-                        alert.fired_at_cycle,
-                        vec![
-                            ("severity", ArgValue::from(alert.severity.label())),
-                            ("droops", ArgValue::from(alert.window.droops)),
-                        ],
-                    );
-                    if let Some(resolved) = alert.resolved_at_cycle {
-                        tracer.instant(
-                            alert.rule.clone(),
-                            "alert-resolved",
-                            PID_MONITOR,
-                            0,
-                            resolved,
-                            vec![("severity", ArgValue::from(alert.severity.label()))],
-                        );
-                    }
-                }
-            }
-        }
-
-        if tracer.is_streaming() {
-            // The telemetry pipeline observes itself: drop/flush/
-            // sampler counters land in the same snapshot the report
-            // embeds. Only streaming tracers add these series, so
-            // non-streaming runs keep their exact historical renders.
-            tracer.export_telemetry(&metrics);
-        }
-        let snapshot = metrics.snapshot();
-        if let Some(oc) = obs {
-            // Final publish: the complete end-of-run registry (alert
-            // counters, monitor gauges, attribution series included),
-            // final health, and `done: true` — so post-run scrapes see
-            // the finished state instead of the last periodic sample.
-            oc.hub.publish(ObsSnapshot {
-                metrics: snapshot.clone(),
-                health: monitor.as_deref().map(Monitor::status),
-                service: Some(ServiceStatus {
-                    epoch: epochs,
-                    virtual_cycles: now,
-                    queue_depth: 0,
-                    running_jobs: 0,
-                    jobs_submitted: jobs.len(),
-                    jobs_admitted: admitted,
-                    jobs_completed: completed.len() as u64,
-                    droops,
-                    worker_slices: worker_slices
-                        .iter()
-                        .map(|w| w.load(Ordering::Relaxed))
-                        .collect(),
-                    done: true,
-                }),
-                fleet: None,
-                recent_droops: recent.iter().flatten().cloned().collect(),
-                profile_json: last_profile.clone(),
-            });
-            if let Some(hook) = &oc.on_publish {
-                hook(&oc.hub.latest());
-            }
-        }
-        let mean = |f: &dyn Fn(&CompletedJob) -> f64| {
-            if completed.is_empty() {
-                0.0
-            } else {
-                completed.iter().map(f).sum::<f64>() / completed.len() as f64
-            }
-        };
-        Ok(ServiceReport {
-            policy: policy.name(),
-            jobs_submitted: jobs.len(),
-            jobs_completed: completed.len(),
-            virtual_cycles: now,
+        let cells = backend.finish()?;
+        merge.finalize(
+            cells,
+            policy.name(),
             epochs,
-            chip_cycles,
-            droops,
-            droops_per_kilocycle: if chip_cycles == 0 {
-                0.0
-            } else {
-                droops as f64 * 1000.0 / chip_cycles as f64
-            },
-            mean_queue_wait_cycles: mean(&|j| j.queue_wait_cycles() as f64),
-            chip_utilization: utilization,
-            throughput_jobs_per_mcycle: if now == 0 {
-                0.0
-            } else {
-                completed.len() as f64 * 1e6 / now as f64
-            },
-            mean_ipc: mean(&|j| j.ipc()),
-            warmed_profiles: book.warmed(),
-            metrics: snapshot.render(),
-            snapshot,
-            completed,
-            health: health.as_ref().map(HealthReport::summary),
-        })
+            now,
+            busy_core_quanta,
+            self.cfg.chips,
+        )
     }
 
-    fn build_pool(&self) -> Result<Vec<ChipSlot>, ServeError> {
+    fn build_pool(&self, fast_warmup: bool) -> Result<Vec<ChipCell>, ServeError> {
         (0..self.cfg.chips)
             .map(|chip_idx| {
                 let chip = Chip::new(self.cfg.chip.clone())?;
                 let seed = |core: usize| (chip_idx * 2 + core) as u64;
-                let mut w0 = IdleLoop::new(seed(0));
-                let mut w1 = IdleLoop::new(seed(1));
-                let mut warmup: Vec<&mut dyn StimulusSource> = vec![&mut w0, &mut w1];
-                let session = ChipSession::begin(chip, &mut warmup, self.cfg.slice_cycles)?;
-                Ok(ChipSlot {
+                // The shard backend warms up through the fused kernel
+                // (bit-identical to the reference warmup, enforced by
+                // the fastpath tests); the in-line backend keeps the
+                // historical reference warmup literally.
+                let session = if fast_warmup {
+                    let mut w0 = IdleLoop::new(seed(0));
+                    let mut w1 = IdleLoop::new(seed(1));
+                    ChipSession::begin_fast(
+                        chip,
+                        || StimulusSource::next(&mut w0),
+                        || StimulusSource::next(&mut w1),
+                        self.cfg.slice_cycles,
+                    )?
+                } else {
+                    let mut w0 = IdleLoop::new(seed(0));
+                    let mut w1 = IdleLoop::new(seed(1));
+                    let mut warmup: Vec<&mut dyn StimulusSource> = vec![&mut w0, &mut w1];
+                    ChipSession::begin(chip, &mut warmup, self.cfg.slice_cycles)?
+                };
+                Ok(ChipCell {
                     session,
                     cores: [None, None],
                     idle: [IdleLoop::new(seed(0)), IdleLoop::new(seed(1))],
@@ -905,22 +683,26 @@ impl Service {
     /// chips with each one's best scoring partner, then fill empty
     /// chips with the best pair from the window, and finally let a
     /// partnerless leftover run solo rather than hold a core idle.
+    ///
+    /// Decisions mutate only the occupancy shadow; the chosen streams
+    /// are shipped to the backend as `AddJob` commands and the
+    /// placements recorded for the merge layer's replay.
     fn place(
         &self,
-        slots: &mut [ChipSlot],
+        shadows: &mut [ShadowChip],
         ready: &mut VecDeque<JobSpec>,
         book: &TelemetryBook,
         policy: &dyn PairPolicy,
-        now: u64,
-        tracer: &Tracer,
+        rec: &mut EpochRec,
+        backend: &mut Backend,
     ) -> Result<(), ServeError> {
         // 1. Half-empty chips: match the running job with its best
         //    available partner.
-        for (chip_idx, slot) in slots.iter_mut().enumerate() {
-            if ready.is_empty() || slot.occupied() != 1 {
+        for (chip_idx, shadow) in shadows.iter_mut().enumerate() {
+            if ready.is_empty() || shadow.occupied() != 1 {
                 continue;
             }
-            let resident = slot.cores.iter().flatten().next().expect("one resident");
+            let resident = shadow.cores.iter().flatten().next().expect("one resident");
             let resident_cand = book.candidate(resident.spec.id, &resident.spec.workload);
             let window = ready.len().min(self.cfg.pairing_window);
             let mut best = (0usize, f64::NEG_INFINITY);
@@ -932,11 +714,11 @@ impl Service {
                 }
             }
             let job = ready.remove(best.0).expect("index in window");
-            self.start_job(slot, chip_idx, job, now, tracer)?;
+            self.start_job(shadow, chip_idx, job, rec, backend)?;
         }
         // 2. Empty chips: best pair within the window.
-        for (chip_idx, slot) in slots.iter_mut().enumerate() {
-            if ready.len() < 2 || slot.occupied() != 0 {
+        for (chip_idx, shadow) in shadows.iter_mut().enumerate() {
+            if ready.len() < 2 || shadow.occupied() != 0 {
                 continue;
             }
             let window = ready.len().min(self.cfg.pairing_window);
@@ -957,18 +739,18 @@ impl Service {
             // Remove the later index first so the earlier stays valid.
             let second = ready.remove(best.1).expect("index in window");
             let first = ready.remove(best.0).expect("index in window");
-            self.start_job(slot, chip_idx, first, now, tracer)?;
-            self.start_job(slot, chip_idx, second, now, tracer)?;
+            self.start_job(shadow, chip_idx, first, rec, backend)?;
+            self.start_job(shadow, chip_idx, second, rec, backend)?;
         }
         // 3. A single leftover with a free chip runs solo.
-        if let Some((chip_idx, slot)) = slots
+        if let Some((chip_idx, shadow)) = shadows
             .iter_mut()
             .enumerate()
             .find(|(_, s)| s.occupied() == 0)
         {
             if ready.len() == 1 {
                 let job = ready.pop_front().expect("one job");
-                self.start_job(slot, chip_idx, job, now, tracer)?;
+                self.start_job(shadow, chip_idx, job, rec, backend)?;
             }
         }
         Ok(())
@@ -976,124 +758,55 @@ impl Service {
 
     fn start_job(
         &self,
-        slot: &mut ChipSlot,
+        shadow: &mut ShadowChip,
         chip_idx: usize,
         spec: JobSpec,
-        now: u64,
-        tracer: &Tracer,
+        rec: &mut EpochRec,
+        backend: &mut Backend,
     ) -> Result<(), ServeError> {
         let workload = by_name(&spec.workload)
             .ok_or_else(|| ServeError::UnknownWorkload(spec.workload.clone()))?;
         // Instance-seeded stream: two jobs of the same workload phase
         // differently, like two real submissions would.
         let stream = workload.stream(spec.id, self.cfg.slice_cycles);
-        let core = slot
+        let total_cycles = stream.total_cycles();
+        let core = shadow
             .cores
             .iter()
             .position(Option::is_none)
             .expect("free core");
-        if tracer.is_enabled() {
-            tracer.complete(
-                "queue",
-                "job",
-                PID_JOBS,
-                spec.id,
-                spec.arrival_cycle,
-                now - spec.arrival_cycle,
-                vec![
-                    ("workload", ArgValue::from(spec.workload.as_str())),
-                    ("chip", ArgValue::from(chip_idx)),
-                    ("core", ArgValue::from(core)),
-                ],
-            );
-        }
-        slot.cores[core] = Some(RunningJob {
+        backend.add_job(
+            chip_idx,
+            core,
+            CellJob {
+                id: spec.id,
+                stream,
+            },
+        );
+        rec.places.push(PlaceRec {
+            spec: spec.clone(),
+            chip: chip_idx,
+            core,
+        });
+        shadow.cores[core] = Some(ShadowJob {
             spec,
-            stream,
-            started_cycle: now,
+            total_cycles,
             executed_cycles: 0,
-            instructions: 0.0,
-            attributed_droops: 0,
         });
         Ok(())
     }
 }
 
-/// Virtual thread id hosting `droop_window` spans on a chip timeline
-/// (cores are threads 0 and 1).
-const PROFILE_TID: u64 = 2;
-
-/// Scores freshly sealed capture windows into the profiler and emits
-/// them as trace spans. Each window is labeled by the slice it
-/// triggered in (found in `segs`, which is ordered by session clock)
-/// and mapped onto the virtual clock through that slice's offset.
-fn record_windows(
-    profiler: &mut Profiler,
-    tracer: &Tracer,
-    chip_idx: usize,
-    segs: &[SliceSeg],
-    windows: &[DroopWindow],
-) {
-    for window in windows {
-        let seg = segs
-            .iter()
-            .rev()
-            .find(|s| s.session_start <= window.trigger_cycle)
-            .expect("windows only trigger inside recorded slices");
-        let att = profiler.record(&seg.label, window);
-        if tracer.is_enabled() {
-            let virtual_trigger = seg.virtual_start + (window.trigger_cycle - seg.session_start);
-            let ts = virtual_trigger.saturating_sub(window.trigger_cycle - window.start_cycle);
-            emit_window_span(tracer, chip_pid(chip_idx), PROFILE_TID, ts, window, &att);
-        }
-    }
-}
-
-/// Advances every busy chip one quantum, fanned out over `workers` OS
-/// threads. Results come back slotted by position in `busy`, so the
-/// merge order is chip order regardless of which thread ran what.
-fn run_epoch(
-    slots: &mut [ChipSlot],
-    busy: &[usize],
-    workers: usize,
-    slice_cycles: u64,
-    metrics: &MetricsRegistry,
-    worker_slices: &[AtomicU64],
-) -> Result<Vec<SliceStats>, ServeError> {
-    let workers = workers.max(1);
-    let queue: Mutex<VecDeque<(usize, &mut ChipSlot)>> = Mutex::new(
-        slots
-            .iter_mut()
-            .enumerate()
-            .filter(|(i, _)| busy.contains(i))
-            .enumerate()
-            .map(|(ri, (_, slot))| (ri, slot))
-            .collect(),
-    );
-    let results: Mutex<Vec<Option<Result<SliceStats, ChipError>>>> =
-        Mutex::new((0..busy.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for my_slices in worker_slices.iter().take(workers.min(busy.len())) {
-            let (queue, results) = (&queue, &results);
-            scope.spawn(move || loop {
-                let item = queue.lock().expect("queue lock").pop_front();
-                let Some((ri, slot)) = item else { break };
-                let outcome = slot.run_slice(slice_cycles);
-                if let Ok(slice) = &outcome {
-                    metrics.counter_add("serve_slices_total", 1);
-                    metrics.counter_add("serve_chip_cycles_total", slice.cycles);
-                    my_slices.fetch_add(1, Ordering::Relaxed);
-                }
-                results.lock().expect("results lock")[ri] = Some(outcome);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|slot| slot.expect("every busy chip ran").map_err(ServeError::Chip))
-        .collect()
+/// Replays one epoch: collects the epoch's slice logs from the backend
+/// (in `rec.busy`'s chip order — the caller must have established
+/// availability) and hands them to the merge layer.
+fn drive_epoch(merge: &mut Merge, backend: &mut Backend, rec: &EpochRec) -> Result<(), ServeError> {
+    let logs: Vec<SliceLog> = rec
+        .busy
+        .iter()
+        .map(|b| backend.take_log(rec.index, b.chip))
+        .collect();
+    merge.replay(rec, &logs)
 }
 
 #[cfg(test)]

@@ -88,9 +88,15 @@ impl TelemetryBook {
         if delta.cycles() == 0 {
             return;
         }
+        // Probe by `&str` first: `entry` would allocate the owned key
+        // on every observation, and this runs once per core per slice.
+        if !self.profiles.contains_key(workload) {
+            self.profiles
+                .insert(workload.to_string(), WorkloadProfile::cold());
+        }
         self.profiles
-            .entry(workload.to_string())
-            .or_insert_with(WorkloadProfile::cold)
+            .get_mut(workload)
+            .expect("present or just inserted")
             .fold(delta.stall_ratio(), delta.ipc(), droops_per_kilocycle);
     }
 

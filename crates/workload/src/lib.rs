@@ -34,4 +34,4 @@ pub mod stream;
 
 pub use catalog::{by_name, lookup, parsec, spec2006, Suite, Threading, Workload, WorkloadError};
 pub use phase::{EventMix, Phase, PhaseTimeline};
-pub use stream::EventStream;
+pub use stream::{EventStream, PreparedMix};

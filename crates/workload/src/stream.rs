@@ -41,6 +41,41 @@ pub struct EventStream {
     train_pos: u32,
 }
 
+/// An [`EventMix`](crate::phase::EventMix) with its per-cycle derived
+/// quantities hoisted: the total event rate and the per-cycle event
+/// probability. The mix is constant across an interval, but
+/// [`step_prepared`](EventStream::step_prepared) needs both values
+/// every cycle — preparing once per slice removes a five-term float
+/// reduction and a division from the hot loop without changing a
+/// single emitted stimulus (the hoisted values are computed by exactly
+/// the per-cycle expressions they replace).
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedMix {
+    mix: crate::phase::EventMix,
+    /// `mix.total_rate()`.
+    total_rate: f64,
+    /// `(total_rate / 1000.0).min(1.0)` — the Bernoulli parameter of
+    /// the per-cycle "some event fires" trial.
+    p_event: f64,
+}
+
+impl PreparedMix {
+    /// Prepares `mix` for per-cycle stepping.
+    pub fn new(mix: crate::phase::EventMix) -> Self {
+        let total_rate = mix.total_rate();
+        Self {
+            mix,
+            total_rate,
+            p_event: (total_rate / 1000.0).min(1.0),
+        }
+    }
+
+    /// The wrapped mix.
+    pub fn mix(&self) -> &crate::phase::EventMix {
+        &self.mix
+    }
+}
+
 impl EventStream {
     /// Creates a stream over `timeline`, mapping one measurement
     /// interval to `cycles_per_interval` simulated cycles.
@@ -119,18 +154,50 @@ impl EventStream {
     pub fn seek_to_interval(&mut self, interval: u32) {
         self.cycle = u64::from(interval) * self.cycles_per_interval;
     }
-}
 
-impl StimulusSource for EventStream {
-    fn next(&mut self) -> CycleStimulus {
-        if self.looping && self.cycle >= self.total_cycles {
-            self.restarts += 1;
-            let seed = self
-                .base_seed
-                .wrapping_add(self.restarts.wrapping_mul(0x9e37_79b9));
-            self.restart(seed);
-        }
-        let mix = *self.timeline.mix_at(self.current_interval());
+    /// Cycles per measurement interval at this fidelity.
+    pub fn cycles_per_interval(&self) -> u64 {
+        self.cycles_per_interval
+    }
+
+    /// The event mix [`next`](StimulusSource::next) would sample from on
+    /// the upcoming cycle (the active interval's mix).
+    ///
+    /// The mix is constant for all cycles inside one interval, so a
+    /// caller advancing a non-looping stream through a whole
+    /// interval-aligned slice may hoist this lookup and drive the stream
+    /// through [`step_prepared`](Self::step_prepared) instead of
+    /// [`next`](StimulusSource::next) — same stimuli, same RNG
+    /// consumption, without the per-cycle interval division.
+    pub fn current_mix(&self) -> crate::phase::EventMix {
+        *self.timeline.mix_at(self.current_interval())
+    }
+
+    /// The [`PreparedMix`] for the interval the stream is currently in.
+    pub fn current_prepared(&self) -> PreparedMix {
+        PreparedMix::new(self.current_mix())
+    }
+
+    /// Advances one cycle using a caller-supplied event mix.
+    ///
+    /// Equivalent to preparing `mix` and calling
+    /// [`step_prepared`](Self::step_prepared); hot slice loops should
+    /// prepare once per slice instead of once per cycle.
+    #[inline]
+    pub fn step_with_mix(&mut self, mix: &crate::phase::EventMix) -> CycleStimulus {
+        self.step_prepared(&PreparedMix::new(*mix))
+    }
+
+    /// Advances one cycle using a caller-supplied prepared mix.
+    ///
+    /// This is the body of [`next`](StimulusSource::next) after the loop
+    /// restart check and interval lookup: callers must pass the mix of
+    /// the interval the stream is currently in (see
+    /// [`current_prepared`](Self::current_prepared)) and must not use it
+    /// to step a looping stream across its restart boundary.
+    #[inline]
+    pub fn step_prepared(&mut self, prep: &PreparedMix) -> CycleStimulus {
+        let mix = &prep.mix;
         self.cycle += 1;
         // Resonant burst train in progress: a tight loop alternating
         // between full-width issue and a drained pipeline at a period
@@ -157,10 +224,9 @@ impl StimulusSource for EventStream {
             self.train_remaining = self.rng.gen_range(6..14) * self.train_half_period;
             self.train_pos = 0;
         }
-        let total = mix.total_rate() / 1000.0;
-        if total > 0.0 && self.rng.gen::<f64>() < total.min(1.0) {
+        if prep.p_event > 0.0 && self.rng.gen::<f64>() < prep.p_event {
             // Pick which event fired, proportional to its rate.
-            let mut pick = self.rng.gen::<f64>() * mix.total_rate();
+            let mut pick = self.rng.gen::<f64>() * prep.total_rate;
             let mut fired = StallEvent::Exception;
             for e in StallEvent::ALL {
                 pick -= mix.rate(e);
@@ -215,6 +281,20 @@ impl StimulusSource for EventStream {
         let swing = self.burst_level * cluster_gain;
         let intensity = (mix.intensity + swing).max(0.0);
         CycleStimulus::Active { intensity }
+    }
+}
+
+impl StimulusSource for EventStream {
+    fn next(&mut self) -> CycleStimulus {
+        if self.looping && self.cycle >= self.total_cycles {
+            self.restarts += 1;
+            let seed = self
+                .base_seed
+                .wrapping_add(self.restarts.wrapping_mul(0x9e37_79b9));
+            self.restart(seed);
+        }
+        let mix = *self.timeline.mix_at(self.current_interval());
+        self.step_with_mix(&mix)
     }
 
     fn name(&self) -> &str {
@@ -334,5 +414,24 @@ mod tests {
     fn total_cycles_scales_with_fidelity() {
         let s = EventStream::new("t", timeline(), 1, 500);
         assert_eq!(s.total_cycles(), 1500);
+    }
+
+    #[test]
+    fn hoisted_mix_stepping_matches_next_exactly() {
+        let mut reference = EventStream::new("t", timeline(), 11, 500);
+        let mut hoisted = EventStream::new("t", timeline(), 11, 500);
+        // Drive the hoisted stream one interval-aligned slice at a time,
+        // looking the mix up once per slice; the per-cycle stimuli (and
+        // therefore the RNG consumption) must match next() bit for bit.
+        for _ in 0..3 {
+            let mix = hoisted.current_mix();
+            for _ in 0..500 {
+                let a = reference.next();
+                let b = hoisted.step_with_mix(&mix);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+        assert!(reference.is_finished() && hoisted.is_finished());
+        assert_eq!(reference.current_interval(), hoisted.current_interval());
     }
 }

@@ -6,7 +6,9 @@
 use vsmooth::chip::ChipConfig;
 use vsmooth::pdn::DecapConfig;
 use vsmooth::sched::{OnlineDroop, OnlineIpc, PairPolicy, RandomPairing};
-use vsmooth::serve::{synthetic_jobs, Service, ServiceConfig, ServiceReport};
+use vsmooth::serve::{
+    synthetic_jobs, JobSpec, RuntimeMode, ServeError, Service, ServiceConfig, ServiceReport,
+};
 use vsmooth::trace::{validate_chrome_trace, Tracer};
 
 fn run(policy: &dyn PairPolicy, workers: usize) -> ServiceReport {
@@ -72,4 +74,49 @@ fn trace_and_metrics_artifacts_are_byte_identical_across_worker_counts() {
     assert!(shape.spans > 0 && shape.droops > 0);
     assert!(prom_1.contains("droops_total{policy=\"Droop(online)\"}"));
     assert!(prom_1.contains("queue_wait_kcycles{quantile=\"0.95\"}"));
+}
+
+#[test]
+fn queue_overflow_sheds_the_same_job_under_sharding() {
+    // A burst of simultaneous arrivals against a tiny bounded queue:
+    // the run must end in the typed overflow error, shedding the very
+    // same job with the very same recorded capacity, whether the pool
+    // is the in-line coordinator or any number of shards. Admission
+    // order is a decision-loop property, so which job overflows must
+    // not depend on the execution backend.
+    let jobs: Vec<JobSpec> = (0..12)
+        .map(|id| JobSpec {
+            id,
+            workload: "429.mcf".into(),
+            arrival_cycle: 0,
+        })
+        .collect();
+    let overflow = |runtime: RuntimeMode, workers: usize| {
+        let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+        cfg.chips = 2;
+        cfg.slice_cycles = 600;
+        cfg.queue_capacity = Some(3);
+        cfg.runtime = runtime;
+        match Service::new(cfg)
+            .expect("valid config")
+            .run(&jobs, &OnlineDroop, workers)
+        {
+            Err(ServeError::QueueOverflow { capacity, job }) => (capacity, job),
+            other => panic!("expected QueueOverflow under {runtime:?}/{workers}, got {other:?}"),
+        }
+    };
+    let reference = overflow(RuntimeMode::Coordinator, 1);
+    assert_eq!(reference.0, 3);
+    for shards in [1usize, 2, 4, 8] {
+        assert_eq!(
+            overflow(RuntimeMode::Sharded, shards),
+            reference,
+            "overflow identity differs at {shards} shards"
+        );
+    }
+    // The default Auto mapping takes the sharded path for multi-worker
+    // calls; the shed job must not change there either.
+    for workers in [2usize, 8] {
+        assert_eq!(overflow(RuntimeMode::Auto, workers), reference);
+    }
 }

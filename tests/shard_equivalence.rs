@@ -1,0 +1,249 @@
+//! Tier-1 differential oracle for the shard-per-worker runtime: every
+//! artifact the service produces must be byte-identical between the
+//! single-threaded coordinator backend and the sharded backend at 1,
+//! 2, 4 and 8 shards — same seeded job stream, same policy, same
+//! config, only [`RuntimeMode`] varies.
+//!
+//! Five artifact classes are pinned:
+//!
+//! 1. the [`ServiceReport`] (struct equality *and* rendered bytes),
+//! 2. the Chrome trace JSON,
+//! 3. the `vsmooth-profile-v1` attribution JSON,
+//! 4. the monitor health report JSON (alerts and postmortems
+//!    included),
+//! 5. the obs hub snapshot stream (every periodic publish plus the
+//!    final one).
+//!
+//! The single documented exception is `ServiceStatus::worker_slices`
+//! inside obs snapshots: the per-worker split is live execution state
+//! and nondeterministic under work-stealing by design. Its *sum* at
+//! the final publish must still equal `serve_slices_total`.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use vsmooth::chip::ChipConfig;
+use vsmooth::monitor::MonitorConfig;
+use vsmooth::obs::{ObsConfig, ObsSnapshot, TelemetryHub};
+use vsmooth::pdn::DecapConfig;
+use vsmooth::profile::ProfileConfig;
+use vsmooth::sched::OnlineDroop;
+use vsmooth::serve::{JobSpec, RuntimeMode, Service, ServiceConfig};
+use vsmooth::testkit::gen_job_stream;
+use vsmooth::trace::Tracer;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(runtime: RuntimeMode) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.chips = 3;
+    cfg.slice_cycles = 600;
+    cfg.runtime = runtime;
+    cfg
+}
+
+fn jobs(seed: u64) -> Vec<JobSpec> {
+    gen_job_stream(&mut TestRng::new(seed), 14, 900)
+}
+
+#[test]
+fn service_reports_match_coordinator_at_every_shard_count() {
+    let jobs = jobs(0xA11CE);
+    let reference = Service::new(config(RuntimeMode::Coordinator))
+        .unwrap()
+        .run(&jobs, &OnlineDroop, 1)
+        .unwrap();
+    assert_eq!(reference.jobs_completed, jobs.len());
+    for shards in SHARD_COUNTS {
+        let sharded = Service::new(config(RuntimeMode::Sharded))
+            .unwrap()
+            .run(&jobs, &OnlineDroop, shards)
+            .unwrap();
+        assert_eq!(reference, sharded, "report diverged at {shards} shards");
+        assert_eq!(
+            reference.render(),
+            sharded.render(),
+            "rendered report diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn trace_json_matches_coordinator_at_every_shard_count() {
+    let jobs = jobs(0xB0B);
+    let run = |runtime, workers| {
+        let tracer = Tracer::enabled();
+        Service::new(config(runtime))
+            .unwrap()
+            .run_traced(&jobs, &OnlineDroop, workers, &tracer)
+            .unwrap();
+        tracer.to_chrome_json()
+    };
+    let reference = run(RuntimeMode::Coordinator, 1);
+    assert!(reference.contains("traceEvents"));
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            reference,
+            run(RuntimeMode::Sharded, shards),
+            "trace JSON diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn profile_json_matches_coordinator_at_every_shard_count() {
+    let jobs = jobs(0xCAFE);
+    let run = |runtime, workers| {
+        let (report, profile) = Service::new(config(runtime))
+            .unwrap()
+            .run_profiled(
+                &jobs,
+                &OnlineDroop,
+                workers,
+                &Tracer::disabled(),
+                ProfileConfig::default(),
+            )
+            .unwrap();
+        (report, profile.to_json())
+    };
+    let (reference_report, reference_json) = run(RuntimeMode::Coordinator, 1);
+    assert!(reference_json.contains("vsmooth-profile-v1"));
+    for shards in SHARD_COUNTS {
+        let (report, json) = run(RuntimeMode::Sharded, shards);
+        assert_eq!(reference_report, report, "report diverged at {shards}");
+        assert_eq!(
+            reference_json, json,
+            "profile JSON diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn health_json_matches_coordinator_at_every_shard_count() {
+    let jobs = jobs(0xD00D);
+    let run = |runtime, workers| {
+        Service::new(config(runtime))
+            .unwrap()
+            .run_monitored(
+                &jobs,
+                &OnlineDroop,
+                workers,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .unwrap()
+    };
+    let (reference_report, reference_health) = run(RuntimeMode::Coordinator, 1);
+    for shards in SHARD_COUNTS {
+        let (report, health) = run(RuntimeMode::Sharded, shards);
+        assert_eq!(reference_report, report, "report diverged at {shards}");
+        assert_eq!(
+            reference_health.alerts, health.alerts,
+            "alerts diverged at {shards} shards"
+        );
+        assert_eq!(
+            reference_health.to_json(),
+            health.to_json(),
+            "health JSON diverged at {shards} shards"
+        );
+        assert_eq!(reference_health.postmortems.len(), health.postmortems.len());
+        for (a, b) in reference_health.postmortems.iter().zip(&health.postmortems) {
+            assert_eq!(a.to_json(), b.to_json(), "postmortem diverged at {shards}");
+        }
+    }
+}
+
+/// Runs a monitored+profiled service with obs publishing armed and
+/// returns every snapshot the hub published, in publish order.
+fn observed_snapshots(runtime: RuntimeMode, workers: usize, jobs: &[JobSpec]) -> Vec<ObsSnapshot> {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let mut cfg = config(runtime);
+    let mut oc = ObsConfig::new(Arc::new(TelemetryHub::new()));
+    oc.publish_every = 2;
+    oc.on_publish = Some(Arc::new(move |snap: &ObsSnapshot| {
+        sink.lock().unwrap().push(snap.clone());
+    }));
+    cfg.obs = Some(oc);
+    Service::new(cfg)
+        .unwrap()
+        .run_monitored(
+            jobs,
+            &OnlineDroop,
+            workers,
+            &Tracer::disabled(),
+            MonitorConfig::default(),
+        )
+        .unwrap();
+    Arc::try_unwrap(seen).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn obs_snapshot_stream_matches_coordinator_at_every_shard_count() {
+    let jobs = jobs(0xFEED);
+    let reference = observed_snapshots(RuntimeMode::Coordinator, 1, &jobs);
+    assert!(reference.len() > 2, "expected several periodic publishes");
+    for shards in SHARD_COUNTS {
+        let sharded = observed_snapshots(RuntimeMode::Sharded, shards, &jobs);
+        assert_eq!(
+            reference.len(),
+            sharded.len(),
+            "publish count diverged at {shards} shards"
+        );
+        for (i, (a, b)) in reference.iter().zip(&sharded).enumerate() {
+            assert_eq!(a.metrics, b.metrics, "metrics diverged at {shards}/{i}");
+            assert_eq!(a.health, b.health, "health diverged at {shards}/{i}");
+            assert_eq!(
+                a.recent_droops, b.recent_droops,
+                "droop ring diverged at {shards}/{i}"
+            );
+            assert_eq!(
+                a.profile_json.as_deref(),
+                b.profile_json.as_deref(),
+                "profile body diverged at {shards}/{i}"
+            );
+            let (sa, sb) = (a.service.as_ref().unwrap(), b.service.as_ref().unwrap());
+            // Everything in the status except the live per-worker
+            // split is deterministic.
+            let strip = |s: &vsmooth::obs::ServiceStatus| {
+                let mut s = s.clone();
+                s.worker_slices = Vec::new();
+                s
+            };
+            assert_eq!(strip(sa), strip(sb), "status diverged at {shards}/{i}");
+        }
+        // The split's *sum* at the final (done) publish is pinned by
+        // the slice counter.
+        let last = sharded.last().unwrap();
+        let status = last.service.as_ref().unwrap();
+        assert!(status.done);
+        assert_eq!(
+            status.worker_slices.iter().sum::<u64>(),
+            last.metrics.counter("serve_slices_total"),
+            "final worker_slices sum diverged at {shards} shards"
+        );
+    }
+}
+
+proptest! {
+    /// Seeded property: whatever job stream the generator draws, the
+    /// sharded runtime's report and rendered bytes match the
+    /// coordinator's. Case count is pinned by `PROPTEST_CASES`.
+    #[test]
+    fn seeded_job_streams_agree_across_backends(
+        seed in 0u64..u64::MAX,
+        shards in sample::select([2usize, 4, 8]),
+    ) {
+        let jobs = gen_job_stream(&mut TestRng::new(seed), 8, 1_100);
+        let reference = Service::new(config(RuntimeMode::Coordinator))
+            .unwrap()
+            .run(&jobs, &OnlineDroop, 1)
+            .unwrap();
+        let sharded = Service::new(config(RuntimeMode::Sharded))
+            .unwrap()
+            .run(&jobs, &OnlineDroop, shards)
+            .unwrap();
+        prop_assert_eq!(&reference, &sharded);
+        prop_assert_eq!(reference.render(), sharded.render());
+    }
+}
