@@ -27,7 +27,8 @@ cargo test -q -p vsmooth-repro --test oracle_validation
 echo "== shard equivalence gate (coordinator vs sharded runtime) =="
 # The differential oracle for the shard-per-worker runtime: every
 # artifact class (report, trace JSON, profile JSON, health JSON, obs
-# snapshot stream) byte-identical between the in-line coordinator and
+# snapshot stream, vsmooth-audit-v1 decision audit) byte-identical
+# between the in-line coordinator and
 # 1/2/4/8 shards, plus the seeded property over random job streams
 # with a pinned case count, plus the work-stealing stress suite with
 # job-conservation accounting and the armed invariant checker.
@@ -105,6 +106,7 @@ grep -q '"full_mode_peak_records":' BENCH_serve.json
 grep -q '"streaming_peak_ring_occupancy":' BENCH_serve.json
 grep -q '"streaming_dropped_total": 0' BENCH_serve.json
 grep -q '"obs_scrape_under_load":' BENCH_serve.json
+grep -q '"introspection":' BENCH_serve.json
 # Shard-runtime scaling gates: throughput must not regress as workers
 # are added (3% adjacent tolerance, computed by the bench) and the
 # 8-worker figure must clear 2.5x the 1-worker figure. The seed repo
@@ -118,23 +120,40 @@ grep -q '"scaling_meets_target": true' BENCH_serve.json \
 awk -F': ' '/"profiled":/ { gsub(/,/, "", $2); ok = ($2 + 0 <= 1.55) }
             END { exit !ok }' BENCH_serve.json \
     || { echo "profiled overhead exceeds the 1.55x ceiling"; exit 1; }
+# Introspection-overhead ceiling: the live scoreboard plus the armed
+# decision audit must cost at most 1.10x over the sharded baseline.
+awk -F': ' '/"introspection":/ { gsub(/,/, "", $2); ok = ($2 + 0 <= 1.10) }
+            END { exit !ok }' BENCH_serve.json \
+    || { echo "introspection overhead exceeds the 1.10x ceiling"; exit 1; }
 
 echo "== obs demo (live endpoints over loopback HTTP) =="
 # The demo attaches the embedded scrape server to the monitored
-# degradation run on an ephemeral loopback port and probes it with the
-# library's own std-TcpStream client (no curl in the container). It
-# asserts internally that /healthz flips 200 -> 503 -> 200 through the
-# injected burst, that all six endpoints answer with parseable
-# payloads, and that malformed/unknown requests get 400/404 without
-# killing the accept loop. Afterwards hold it to the printed markers.
-cargo run -q --example obs_demo --release | tee target/ci_obs_demo.out
+# degradation run (audit armed, sharded runtime) on an ephemeral
+# loopback port and probes it with the library's own std-TcpStream
+# client (no curl in the container). It asserts internally that
+# /healthz flips 200 -> 503 -> 200 through the injected burst, that
+# all eight endpoints answer with parseable payloads — /shards with
+# the live per-shard introspection, /decisions with the audit ring —
+# and that malformed/unknown requests get 400/404 without killing the
+# accept loop. Afterwards hold it to the printed markers and the
+# sealed vsmooth-audit-v1 artifact.
+cargo run -q --example obs_demo --release -- target/ci_audit.json \
+    | tee target/ci_obs_demo.out
 grep -q 'obs: listening on http://127\.0\.0\.1:' target/ci_obs_demo.out
 grep -q '/healthz flipped 200 -> 503 -> 200' target/ci_obs_demo.out
 grep -q 'status schema vsmooth-obs-v1' target/ci_obs_demo.out
 grep -q 'GET /profile -> 200' target/ci_obs_demo.out
+grep -q 'GET /shards -> 200' target/ci_obs_demo.out \
+    || { echo "/shards scrape failed"; exit 1; }
+grep -q 'schema vsmooth-obs-shards-v1' target/ci_obs_demo.out
+grep -Eq 'GET /decisions\?n=6 -> 200' target/ci_obs_demo.out
 grep -q 'malformed request -> 400' target/ci_obs_demo.out
 grep -q 'unknown path -> 404' target/ci_obs_demo.out
 grep -q 'obs demo complete' target/ci_obs_demo.out
+test -s target/ci_audit.json
+grep -q '"schema": "vsmooth-audit-v1"' target/ci_audit.json \
+    || { echo "audit artifact lacks the vsmooth-audit-v1 schema tag"; exit 1; }
+grep -q '"kind":"place"' target/ci_audit.json
 
 echo "== fleet demo (checkpoint/resume + artifact validation) =="
 # The demo runs a seeded 1000-run heterogeneous sweep twice: once

@@ -15,7 +15,9 @@
 //! (including the bounded-memory streaming trace pipeline and an
 //! `obs_scrape_under_load` row: a monitored run publishing into a live
 //! scrape server hammered by a loopback `/metrics` client, against the
-//! same monitored run unobserved), a telemetry-memory comparison of
+//! same monitored run unobserved; and an `introspection` row: the
+//! sharded runtime with the live scoreboard and decision audit armed,
+//! against the plain sharded baseline), a telemetry-memory comparison of
 //! Full-mode buffering vs the streaming ring, plus a fleet-sweep
 //! throughput row (runs per second with and without checkpointing to
 //! disk).
@@ -251,6 +253,58 @@ fn main() {
         assert!(scrapes_total > 0, "scrape client never got a response");
         println!("obs_scrape_under_load overhead: {ratio:.2}x ({scrapes_total} scrapes served)");
         ratios.push(("obs_scrape_under_load".to_string(), ratio));
+    }
+
+    // Introspection + audit overhead on the sharded runtime: the
+    // monitored sharded run with the live scoreboard feeding obs
+    // publishes and the decision audit armed, against the same
+    // monitored sharded run without them. A *monitored* denominator
+    // (the same convention as the obs row above) keeps droop-crossing
+    // capture armed on both sides, so the row isolates exactly what
+    // this layer adds — the atomic counters, the per-epoch decision
+    // records, the merge-side audit fold, and the snapshot publishes —
+    // rather than re-measuring the cost of arming crossing capture
+    // (the `monitored` row already owns that). Minimum-of-pairs again:
+    // the effect is small and preemptions only ever add time.
+    {
+        use std::sync::Arc;
+        use vsmooth::obs::{ObsConfig, TelemetryHub};
+        use vsmooth::serve::AuditConfig;
+
+        let workers = 4;
+        let mut armed_cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+        armed_cfg.slice_cycles = SLICE;
+        let mut armed_obs = ObsConfig::new(Arc::new(TelemetryHub::new()));
+        armed_obs.publish_every = 64;
+        armed_cfg.obs = Some(armed_obs);
+        armed_cfg.audit = Some(AuditConfig::default());
+        let armed = Service::new(armed_cfg).expect("valid config");
+        let monitored = |svc: &Service| {
+            svc.run_monitored(
+                &jobs,
+                &OnlineDroop,
+                workers,
+                &Tracer::disabled(),
+                MonitorConfig::default(),
+            )
+            .expect("service run");
+        };
+        monitored(&armed); // warm up
+        let intro_rounds = ROUNDS * 4;
+        let mut plain_times = Vec::with_capacity(intro_rounds);
+        let mut armed_times = Vec::with_capacity(intro_rounds);
+        for _ in 0..intro_rounds {
+            let start = Instant::now();
+            monitored(&service);
+            plain_times.push(start.elapsed().as_secs_f64().max(1e-9));
+            let start = Instant::now();
+            monitored(&armed);
+            armed_times.push(start.elapsed().as_secs_f64().max(1e-9));
+        }
+        let best = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = best(&armed_times) / best(&plain_times);
+        println!("introspection overhead: {ratio:.2}x (monitored sharded, {workers} workers)");
+        ratios.push(("introspection".to_string(), ratio));
     }
 
     // Peak telemetry memory: Full mode buffers every record until the

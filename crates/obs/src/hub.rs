@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use vsmooth_monitor::HealthStatus;
 use vsmooth_stats::MetricsSnapshot;
-use vsmooth_trace::DroopEvent;
+use vsmooth_trace::{DecisionEvent, DroopEvent};
 
 /// Live scheduling-service state published alongside the metrics
 /// snapshot, rendered by the `/status` endpoint.
@@ -39,13 +39,82 @@ pub struct ServiceStatus {
     pub jobs_completed: u64,
     /// Droop emergencies observed so far.
     pub droops: u64,
-    /// Scheduling slices executed by each worker thread. Work-stealing
-    /// makes the split nondeterministic, which is fine here: this
-    /// vector exists only for live observation and never feeds the
-    /// deterministic `ServiceReport`.
-    pub worker_slices: Vec<u64>,
     /// True once the run has finished and this is the final snapshot.
     pub done: bool,
+}
+
+/// Summary of decision-loop latency samples (wall microseconds —
+/// live observation only, never part of any deterministic artifact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub total_us: u64,
+    /// Largest sample, in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Mean latency in microseconds (0 before any sample).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// One shard's live execution counters, published in the `/shards`
+/// snapshot section.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Slices executed off the shard's own token queue.
+    pub slices_owned: u64,
+    /// Slices executed off another shard's queue (work steals).
+    pub slices_stolen: u64,
+    /// High-water mark of the shard's event-lane occupancy.
+    pub lane_occupancy_hwm: u64,
+    /// Trace bundles the shard offered to its streaming ring.
+    pub stream_bundles: u64,
+    /// Trace bundles dropped because the ring was full (the merge
+    /// synthesizes the identical records, so drops cost CPU, not
+    /// bytes).
+    pub stream_dropped: u64,
+    /// High-water mark of the shard's streaming-ring occupancy.
+    pub stream_ring_hwm: u64,
+    /// The streaming ring's capacity, in bundles (0 when the run is
+    /// not streaming per-shard telemetry).
+    pub stream_ring_capacity: u64,
+}
+
+/// Live runtime introspection of the shard-per-worker backend, behind
+/// the `/shards` endpoint. This whole section is execution state —
+/// which shard ran what, how deep queues got, how long decisions
+/// took — and is the documented determinism exception: it appears
+/// only in published snapshots, never in the run's registry or
+/// report. The one pinned reconciliation: the sum of every shard's
+/// `slices_owned + slices_stolen` equals `serve_slices_total`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardsStatus {
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStatus>,
+    /// Per-chip command-queue depth high-water marks, in chip order.
+    pub cell_queue_hwm: Vec<u64>,
+    /// Times a chip's slice executed on a different shard than its
+    /// previous slice (token ownership churn under stealing).
+    pub ownership_churn: u64,
+    /// Quantum grants issued by the decision loop.
+    pub grants: u64,
+    /// Epochs the decision loop has finished deciding.
+    pub epochs_decided: u64,
+    /// Epochs decided but not yet merged (merge-buffer lag).
+    pub merge_lag_epochs: u64,
+    /// Decision-loop wall latency summary.
+    pub decision_latency: LatencyStats,
 }
 
 /// Live fleet-campaign state, published once per checkpoint chunk.
@@ -83,6 +152,13 @@ pub struct ObsSnapshot {
     pub recent_droops: Vec<DroopEvent>,
     /// Latest `vsmooth-profile-v1` JSON behind `/profile`.
     pub profile_json: Option<Arc<String>>,
+    /// Live shard-runtime introspection behind `/shards` (absent on
+    /// coordinator-backend runs and fleet publishers).
+    pub shards: Option<ShardsStatus>,
+    /// The decision audit ring behind `/decisions`, oldest first.
+    /// Folded merge-side in `(epoch, chip)` order, so — unlike
+    /// `shards` — this section is deterministic at any shard count.
+    pub decisions: Vec<DecisionEvent>,
 }
 
 /// The snapshot exchange. One writer (the coordinator) swaps in

@@ -20,16 +20,19 @@
 //!   text), `/healthz` (503 while a paging-severity alert fires),
 //!   `/readyz` (503 until the first publish), `/status`
 //!   (`vsmooth-obs-v1` JSON), `/trace/recent?n=N` (last N droop
-//!   crossings), `/profile` (latest `vsmooth-profile-v1` JSON). The
-//!   server self-observes: `obs_scrapes_total{endpoint,status}`, a
-//!   scrape latency histogram, and a snapshot staleness gauge ride
+//!   crossings), `/profile` (latest `vsmooth-profile-v1` JSON),
+//!   `/shards` (`vsmooth-obs-shards-v1` JSON, the live shard-runtime
+//!   introspection), `/decisions?n=N` (the scheduler decision audit
+//!   ring). The server self-observes: `obs_scrapes_total
+//!   {endpoint,status}`, a scrape latency histogram, a snapshot
+//!   staleness gauge, and the per-shard introspection gauges ride
 //!   along in the `/metrics` exposition.
 //!
 //! The serving side never touches the run's own `MetricsRegistry` or
 //! `ServiceReport`: self-observation lives in a separate registry and
-//! per-worker slice counts exist only in the published snapshot, so
-//! attaching an [`ObsConfig`] cannot perturb the byte-determinism
-//! contract the service tests pin down.
+//! the live shard-runtime counters ([`ShardsStatus`]) exist only in
+//! the published snapshot, so attaching an [`ObsConfig`] cannot
+//! perturb the byte-determinism contract the service tests pin down.
 //!
 //! # Example
 //!
@@ -52,7 +55,11 @@ mod hub;
 mod json;
 mod server;
 
-pub use hub::{FleetStatus, ObsConfig, ObsSnapshot, PublishHook, ServiceStatus, TelemetryHub};
+pub use hub::{
+    FleetStatus, LatencyStats, ObsConfig, ObsSnapshot, PublishHook, ServiceStatus, ShardStatus,
+    ShardsStatus, TelemetryHub,
+};
 pub use server::{
-    http_get, http_send_raw, HttpResponse, ObsServer, OBS_STATUS_SCHEMA, OBS_TRACE_SCHEMA,
+    http_get, http_send_raw, HttpResponse, ObsServer, OBS_DECISIONS_SCHEMA, OBS_SHARDS_SCHEMA,
+    OBS_STATUS_SCHEMA, OBS_TRACE_SCHEMA,
 };

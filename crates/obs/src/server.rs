@@ -19,6 +19,8 @@
 //! | `/status`          | `vsmooth-obs-v1` JSON: service/fleet progress   |
 //! | `/trace/recent?n=N`| `vsmooth-obs-trace-v1` JSON: last N droops      |
 //! | `/profile`         | latest `vsmooth-profile-v1` JSON, 404 until one |
+//! | `/shards`          | `vsmooth-obs-shards-v1` JSON: live shard-runtime introspection |
+//! | `/decisions?n=N`   | `vsmooth-obs-decisions-v1` JSON: last N audit decisions |
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -29,13 +31,17 @@ use std::time::{Duration, Instant};
 
 use vsmooth_stats::MetricsRegistry;
 
-use crate::hub::{ObsSnapshot, TelemetryHub};
+use crate::hub::{ObsSnapshot, ShardsStatus, TelemetryHub};
 use crate::json::{escape_json, json_f64};
 
 /// Schema tag on the `/status` JSON document.
 pub const OBS_STATUS_SCHEMA: &str = "vsmooth-obs-v1";
 /// Schema tag on the `/trace/recent` JSON document.
 pub const OBS_TRACE_SCHEMA: &str = "vsmooth-obs-trace-v1";
+/// Schema tag on the `/shards` JSON document.
+pub const OBS_SHARDS_SCHEMA: &str = "vsmooth-obs-shards-v1";
+/// Schema tag on the `/decisions` JSON document.
+pub const OBS_DECISIONS_SCHEMA: &str = "vsmooth-obs-decisions-v1";
 
 /// Droop records `/trace/recent` returns when no `n` is given.
 const DEFAULT_RECENT: usize = 32;
@@ -218,6 +224,47 @@ fn serve_loop(listener: TcpListener, hub: &TelemetryHub, stop: &AtomicBool) {
             10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0,
         ],
     );
+    // Shard-runtime introspection gauges, refreshed from the latest
+    // published snapshot's live `shards` section on every /metrics
+    // scrape. They live in this self-observation registry — never the
+    // run's own — because steal splits, queue high-water marks and
+    // wall-clock latency are execution facts, not schedule facts.
+    metrics.describe(
+        "serve_shard_slices",
+        "Slices executed per shard, split by claim origin (kind=owned|stolen).",
+    );
+    metrics.describe(
+        "serve_shard_lane_occupancy_hwm",
+        "High-water mark of each shard's event-lane occupancy, in pending slice records.",
+    );
+    metrics.describe(
+        "serve_shard_stream_bundles",
+        "Trace-span bundles each shard offered to its streaming ring.",
+    );
+    metrics.describe(
+        "serve_shard_stream_dropped",
+        "Trace-span bundles dropped at each shard's full streaming ring (merge resynthesizes them).",
+    );
+    metrics.describe(
+        "serve_cell_queue_hwm",
+        "High-water mark of each chip cell's command-queue depth.",
+    );
+    metrics.describe(
+        "serve_ownership_churn",
+        "Times a chip's slice ran on a different shard than its previous slice.",
+    );
+    metrics.describe(
+        "serve_grants",
+        "Quantum grants issued by the scheduler decision loop.",
+    );
+    metrics.describe(
+        "serve_merge_lag_epochs",
+        "Epochs the decision loop is ahead of the merge layer.",
+    );
+    metrics.describe(
+        "serve_decision_latency_us",
+        "Decision-loop wall latency summary, microseconds (stat=mean|max).",
+    );
     let mut cache = MetricsCache::default();
     loop {
         let stream = match listener.accept() {
@@ -349,6 +396,8 @@ fn route(
         "/status" => "/status",
         "/trace/recent" => "/trace/recent",
         "/profile" => "/profile",
+        "/shards" => "/shards",
+        "/decisions" => "/decisions",
         _ => {
             return ("unknown", 404, "text/plain", "not found\n".into());
         }
@@ -363,6 +412,9 @@ fn route(
                 metrics.gauge_set("obs_snapshot_staleness_ms", ms as f64);
             }
             metrics.gauge_set("obs_snapshot_publishes", hub.publishes() as f64);
+            if let Some(shards) = &snap.shards {
+                set_shard_gauges(metrics, shards);
+            }
             // The big half of the body (the published snapshot) comes
             // from the per-snapshot cache; only the small self-metrics
             // registry is re-rendered per scrape (its counters move
@@ -414,6 +466,29 @@ fn route(
             Some(json) => (endpoint, 200, "application/json", json.as_ref().clone()),
             None => (endpoint, 404, "text/plain", "no profile published\n".into()),
         },
+        "/shards" => match &snap.shards {
+            Some(shards) => (endpoint, 200, "application/json", shards_json(shards)),
+            None => (
+                endpoint,
+                404,
+                "text/plain",
+                "no shard runtime published\n".into(),
+            ),
+        },
+        "/decisions" => {
+            let n = match query_recent_n(query) {
+                Ok(n) => n,
+                Err(()) => {
+                    return (
+                        endpoint,
+                        400,
+                        "text/plain",
+                        "bad query: want n=<count>\n".into(),
+                    );
+                }
+            };
+            (endpoint, 200, "application/json", decisions_json(&snap, n))
+        }
         _ => unreachable!("endpoint matched above"),
     }
 }
@@ -459,11 +534,6 @@ fn status_json(hub: &TelemetryHub, snap: &ObsSnapshot) -> String {
             out.push_str(&format!("    \"jobs_admitted\": {},\n", s.jobs_admitted));
             out.push_str(&format!("    \"jobs_completed\": {},\n", s.jobs_completed));
             out.push_str(&format!("    \"droops\": {},\n", s.droops));
-            let slices: Vec<String> = s.worker_slices.iter().map(u64::to_string).collect();
-            out.push_str(&format!(
-                "    \"worker_slices\": [{}],\n",
-                slices.join(", ")
-            ));
             out.push_str(&format!("    \"done\": {}\n  }},\n", s.done));
         }
         None => out.push_str("  \"service\": null,\n"),
@@ -516,6 +586,124 @@ fn status_json(hub: &TelemetryHub, snap: &ObsSnapshot) -> String {
         None => out.push_str("  \"health\": null\n"),
     }
     out.push_str("}\n");
+    out
+}
+
+/// Refreshes the shard-runtime introspection gauges in the server's
+/// self-observation registry from the latest published live section.
+fn set_shard_gauges(metrics: &MetricsRegistry, shards: &ShardsStatus) {
+    for s in &shards.shards {
+        let shard = s.shard.to_string();
+        let shard = shard.as_str();
+        metrics.gauge_with(
+            "serve_shard_slices",
+            &[("shard", shard), ("kind", "owned")],
+            s.slices_owned as f64,
+        );
+        metrics.gauge_with(
+            "serve_shard_slices",
+            &[("shard", shard), ("kind", "stolen")],
+            s.slices_stolen as f64,
+        );
+        metrics.gauge_with(
+            "serve_shard_lane_occupancy_hwm",
+            &[("shard", shard)],
+            s.lane_occupancy_hwm as f64,
+        );
+        metrics.gauge_with(
+            "serve_shard_stream_bundles",
+            &[("shard", shard)],
+            s.stream_bundles as f64,
+        );
+        metrics.gauge_with(
+            "serve_shard_stream_dropped",
+            &[("shard", shard)],
+            s.stream_dropped as f64,
+        );
+    }
+    for (chip, hwm) in shards.cell_queue_hwm.iter().enumerate() {
+        let chip = chip.to_string();
+        metrics.gauge_with(
+            "serve_cell_queue_hwm",
+            &[("chip", chip.as_str())],
+            *hwm as f64,
+        );
+    }
+    metrics.gauge_set("serve_ownership_churn", shards.ownership_churn as f64);
+    metrics.gauge_set("serve_grants", shards.grants as f64);
+    metrics.gauge_set("serve_merge_lag_epochs", shards.merge_lag_epochs as f64);
+    metrics.gauge_with(
+        "serve_decision_latency_us",
+        &[("stat", "mean")],
+        shards.decision_latency.mean_us(),
+    );
+    metrics.gauge_with(
+        "serve_decision_latency_us",
+        &[("stat", "max")],
+        shards.decision_latency.max_us as f64,
+    );
+}
+
+fn shards_json(shards: &ShardsStatus) -> String {
+    let mut out = String::with_capacity(512 + shards.shards.len() * 192);
+    out.push_str(&format!("{{\n  \"schema\": \"{OBS_SHARDS_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"grants\": {},\n", shards.grants));
+    out.push_str(&format!(
+        "  \"epochs_decided\": {},\n",
+        shards.epochs_decided
+    ));
+    out.push_str(&format!(
+        "  \"merge_lag_epochs\": {},\n",
+        shards.merge_lag_epochs
+    ));
+    out.push_str(&format!(
+        "  \"ownership_churn\": {},\n",
+        shards.ownership_churn
+    ));
+    out.push_str(&format!(
+        "  \"decision_latency\": {{\"count\": {}, \"mean_us\": {}, \"max_us\": {}}},\n",
+        shards.decision_latency.count,
+        json_f64(shards.decision_latency.mean_us()),
+        shards.decision_latency.max_us
+    ));
+    let hwm: Vec<String> = shards.cell_queue_hwm.iter().map(u64::to_string).collect();
+    out.push_str(&format!("  \"cell_queue_hwm\": [{}],\n", hwm.join(", ")));
+    out.push_str("  \"shards\": [\n");
+    for (i, s) in shards.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shard\": {}, \"slices_owned\": {}, \"slices_stolen\": {}, \
+             \"lane_occupancy_hwm\": {}, \"stream_bundles\": {}, \"stream_dropped\": {}, \
+             \"stream_ring_hwm\": {}, \"stream_ring_capacity\": {}}}{}\n",
+            s.shard,
+            s.slices_owned,
+            s.slices_stolen,
+            s.lane_occupancy_hwm,
+            s.stream_bundles,
+            s.stream_dropped,
+            s.stream_ring_hwm,
+            s.stream_ring_capacity,
+            if i + 1 < shards.shards.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn decisions_json(snap: &ObsSnapshot, n: usize) -> String {
+    let available = snap.decisions.len();
+    let skip = available.saturating_sub(n);
+    let recent = &snap.decisions[skip..];
+    let mut out = String::with_capacity(256 + recent.len() * 112);
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"{OBS_DECISIONS_SCHEMA}\",\n  \"available\": {available},\n  \"returned\": {},\n  \"events\": [\n",
+        recent.len()
+    ));
+    for (i, event) in recent.iter().enumerate() {
+        out.push_str("    ");
+        event.push_json(&mut out);
+        out.push_str(if i + 1 < recent.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -591,9 +779,9 @@ fn write_response(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hub::ServiceStatus;
+    use crate::hub::{LatencyStats, ServiceStatus, ShardStatus};
     use vsmooth_monitor::{HealthStatus, Severity, WindowSnapshot};
-    use vsmooth_trace::{parse_json, DroopEvent};
+    use vsmooth_trace::{parse_json, DecisionEvent, DecisionKind, DroopEvent};
 
     fn sample_snapshot() -> ObsSnapshot {
         let metrics = MetricsRegistry::new();
@@ -612,9 +800,57 @@ mod tests {
             jobs_admitted: 9,
             jobs_completed: 7,
             droops: 41,
-            worker_slices: vec![10, 14],
             done: false,
         });
+        snap.shards = Some(ShardsStatus {
+            shards: vec![
+                ShardStatus {
+                    shard: 0,
+                    slices_owned: 10,
+                    slices_stolen: 2,
+                    lane_occupancy_hwm: 3,
+                    stream_bundles: 12,
+                    stream_dropped: 0,
+                    stream_ring_hwm: 4,
+                    stream_ring_capacity: 256,
+                },
+                ShardStatus {
+                    shard: 1,
+                    slices_owned: 12,
+                    slices_stolen: 0,
+                    lane_occupancy_hwm: 2,
+                    stream_bundles: 12,
+                    stream_dropped: 1,
+                    stream_ring_hwm: 5,
+                    stream_ring_capacity: 256,
+                },
+            ],
+            cell_queue_hwm: vec![2, 2, 1],
+            ownership_churn: 4,
+            grants: 24,
+            epochs_decided: 12,
+            merge_lag_epochs: 1,
+            decision_latency: LatencyStats {
+                count: 12,
+                total_us: 600,
+                max_us: 90,
+            },
+        });
+        snap.decisions = (0..4)
+            .map(|i| DecisionEvent {
+                epoch: i,
+                cycle: i * 600,
+                kind: if i % 2 == 0 {
+                    DecisionKind::Admit
+                } else {
+                    DecisionKind::Grant
+                },
+                job: Some(i),
+                chip: Some(0),
+                core: None,
+                reason: if i % 2 == 0 { "arrival" } else { "quantum" },
+            })
+            .collect();
         snap.recent_droops = (0..5)
             .map(|i| DroopEvent {
                 chip: 0,
@@ -637,6 +873,13 @@ mod tests {
         let metrics = http_get(addr, "/metrics").unwrap();
         assert_eq!(metrics.status, 200);
         assert!(metrics.body.contains("serve_jobs_completed_total 7"));
+        // The live shard section rides along as introspection gauges,
+        // each with HELP metadata.
+        assert!(metrics.body.contains("# HELP serve_shard_slices"));
+        assert!(metrics.body.contains("serve_shard_slices{"));
+        assert!(metrics.body.contains("# HELP serve_merge_lag_epochs"));
+        assert!(metrics.body.contains("serve_merge_lag_epochs 1"));
+        assert!(metrics.body.contains("# HELP serve_decision_latency_us"));
         assert!(metrics
             .content_type
             .as_deref()
@@ -652,12 +895,39 @@ mod tests {
         );
         let service = doc.get("service").unwrap();
         assert_eq!(service.get("epoch").and_then(|v| v.as_f64()), Some(12.0));
+
+        let shards = http_get(addr, "/shards").unwrap();
+        assert_eq!(shards.status, 200);
+        let doc = parse_json(&shards.body).expect("shards JSON parses");
         assert_eq!(
-            service
-                .get("worker_slices")
-                .and_then(|v| v.as_array())
-                .map(|a| a.len()),
-            Some(2)
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(OBS_SHARDS_SCHEMA)
+        );
+        let per_shard = doc.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(
+            per_shard[0].get("slices_owned").and_then(|v| v.as_f64()),
+            Some(10.0)
+        );
+        assert_eq!(doc.get("grants").and_then(|v| v.as_f64()), Some(24.0));
+        let latency = doc.get("decision_latency").unwrap();
+        assert_eq!(latency.get("mean_us").and_then(|v| v.as_f64()), Some(50.0));
+
+        let decisions = http_get(addr, "/decisions?n=2").unwrap();
+        assert_eq!(decisions.status, 200);
+        let doc = parse_json(&decisions.body).expect("decisions JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(OBS_DECISIONS_SCHEMA)
+        );
+        assert_eq!(doc.get("available").and_then(|v| v.as_f64()), Some(4.0));
+        let events = doc.get("events").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+        // Tail of the ring: the newest decisions.
+        assert_eq!(events[1].get("epoch").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(
+            events[1].get("kind").and_then(|v| v.as_str()),
+            Some("grant")
         );
 
         let trace = http_get(addr, "/trace/recent?n=3").unwrap();
@@ -742,6 +1012,9 @@ mod tests {
         );
         assert_eq!(http_get(addr, "/nope").unwrap().status, 404);
         assert_eq!(http_get(addr, "/trace/recent?n=many").unwrap().status, 400);
+        // No shard runtime in the default snapshot; bad /decisions query.
+        assert_eq!(http_get(addr, "/shards").unwrap().status, 404);
+        assert_eq!(http_get(addr, "/decisions?n=many").unwrap().status, 400);
         assert_eq!(
             http_send_raw(addr, b"POST /metrics HTTP/1.1\r\n\r\n").unwrap(),
             405

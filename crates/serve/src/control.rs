@@ -18,6 +18,7 @@ use std::sync::{Condvar, Mutex};
 
 use crate::job::JobSpec;
 use vsmooth_chip::{ChipError, DroopCrossing, DroopWindow, SliceStats};
+use vsmooth_trace::DecisionEvent;
 use vsmooth_workload::EventStream;
 
 /// How [`Service::run`](crate::Service::run) maps its `workers`
@@ -85,6 +86,11 @@ pub(crate) struct EpochRec {
     pub queue_depth_after: usize,
     /// Jobs still resident after this epoch's analytic completions.
     pub running_after: usize,
+    /// Typed audit entries for this epoch's decisions, in decision
+    /// order. Empty unless `ServiceConfig::audit` is armed — the
+    /// decision loop records, the merge layer folds them into the
+    /// bounded [`AuditLog`](crate::audit::AuditLog) ring at replay.
+    pub decisions: Vec<DecisionEvent>,
 }
 
 impl EpochRec {
@@ -98,14 +104,17 @@ impl EpochRec {
             busy: Vec::new(),
             queue_depth_after: 0,
             running_after: 0,
+            decisions: Vec::new(),
         }
     }
 }
 
-/// A job as a chip cell holds it: the instance-seeded event stream.
+/// A job as a chip cell holds it: the instance-seeded event stream
+/// plus the workload name the shard needs to label slice spans.
 #[derive(Debug)]
 pub(crate) struct CellJob {
     pub id: u64,
+    pub workload: String,
     pub stream: EventStream,
 }
 
@@ -118,8 +127,10 @@ pub(crate) enum CellCmd {
     /// Install `job` on `core` (the decision loop only targets cores
     /// its shadow occupancy knows are free).
     AddJob { core: usize, job: CellJob },
-    /// Advance the chip one scheduling quantum for epoch `epoch`.
-    Grant { epoch: u64 },
+    /// Advance the chip one scheduling quantum for epoch `epoch`,
+    /// whose virtual clock at the slice's start is `now` (the shard
+    /// needs it to stamp slice-span timestamps).
+    Grant { epoch: u64, now: u64 },
 }
 
 /// Everything one executed slice produced, tagged `(shard, epoch,
@@ -185,14 +196,17 @@ impl EventBus {
 
     /// Publishes `event` on `shard`'s lane and rings the doorbell.
     /// The coordinator is the bell's only waiter, so one wake is
-    /// enough.
-    pub(crate) fn publish(&self, shard: usize, event: ShardEvent) {
-        self.lanes[shard]
-            .lock()
-            .expect("lane lock")
-            .push_back(event);
+    /// enough. Returns the lane's occupancy after the push so the
+    /// publisher can feed its lane high-water mark.
+    pub(crate) fn publish(&self, shard: usize, event: ShardEvent) -> usize {
+        let occupancy = {
+            let mut lane = self.lanes[shard].lock().expect("lane lock");
+            lane.push_back(event);
+            lane.len()
+        };
         self.state.lock().expect("bus state lock").published += 1;
         self.bell.notify_one();
+        occupancy
     }
 
     /// Marks one shard as exited, waking the coordinator so it can
@@ -227,6 +241,14 @@ impl EventBus {
         }
         *seen = state.published;
     }
+}
+
+/// A claimed chip token: the chip to serve, and whether the claim
+/// came off another shard's queue (a steal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChipToken {
+    pub chip: usize,
+    pub stolen: bool,
 }
 
 /// The token board: per-shard queues of chip tokens (a token means
@@ -279,17 +301,22 @@ impl TokenBoard {
 
     /// The next chip token for shard `me`: its own queue first, then a
     /// round-robin steal sweep. Blocks when every queue is empty and
-    /// returns `None` only after shutdown.
-    pub(crate) fn next(&self, me: usize) -> Option<usize> {
+    /// returns `None` only after shutdown. The claim reports whether
+    /// it came off another shard's queue, feeding the per-shard
+    /// owned/stolen introspection counters.
+    pub(crate) fn next(&self, me: usize) -> Option<ChipToken> {
         let mut state = self.state.lock().expect("token lock");
         loop {
             if let Some(chip) = state.queues[me].pop_front() {
-                return Some(chip);
+                return Some(ChipToken {
+                    chip,
+                    stolen: false,
+                });
             }
             let n = state.queues.len();
             for offset in 1..n {
                 if let Some(chip) = state.queues[(me + offset) % n].pop_front() {
-                    return Some(chip);
+                    return Some(ChipToken { chip, stolen: true });
                 }
             }
             if state.shutdown {
@@ -337,9 +364,22 @@ mod tests {
     fn token_board_prefers_own_queue_then_steals() {
         let board = TokenBoard::new(2);
         board.push_many([(0, 7), (1, 9)]);
-        // Shard 1 takes its own token first, then steals shard 0's.
-        assert_eq!(board.next(1), Some(9));
-        assert_eq!(board.next(1), Some(7));
+        // Shard 1 takes its own token first, then steals shard 0's —
+        // and the claims say which was which.
+        assert_eq!(
+            board.next(1),
+            Some(ChipToken {
+                chip: 9,
+                stolen: false
+            })
+        );
+        assert_eq!(
+            board.next(1),
+            Some(ChipToken {
+                chip: 7,
+                stolen: true
+            })
+        );
         board.shutdown();
         assert_eq!(board.next(1), None);
         assert_eq!(board.next(0), None);
@@ -351,7 +391,13 @@ mod tests {
         board.push_many([(0, 3)]);
         board.shutdown();
         // Remaining tokens are still served after shutdown.
-        assert_eq!(board.next(0), Some(3));
+        assert_eq!(
+            board.next(0),
+            Some(ChipToken {
+                chip: 3,
+                stolen: false
+            })
+        );
         assert_eq!(board.next(0), None);
     }
 }

@@ -43,20 +43,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod control;
+pub(crate) mod introspect;
 pub mod job;
 pub(crate) mod merge;
 pub mod service;
 pub(crate) mod shard;
 pub mod telemetry;
 
+pub use audit::{AuditConfig, AuditReport};
 pub use control::RuntimeMode;
 pub use job::{synthetic_jobs, CompletedJob, JobSpec};
 pub use service::{Service, ServiceConfig, ServiceReport};
 pub use telemetry::{TelemetryBook, WorkloadProfile};
 // Re-exported so callers can wire `ServiceConfig::obs` without naming
-// the obs crate directly.
-pub use vsmooth_obs::{ObsConfig, ObsServer, ObsSnapshot, TelemetryHub};
+// the obs crate directly, and read audit events without naming trace.
+pub use vsmooth_obs::{
+    LatencyStats, ObsConfig, ObsServer, ObsSnapshot, ShardStatus, ShardsStatus, TelemetryHub,
+};
+pub use vsmooth_trace::{DecisionEvent, DecisionKind, AUDIT_SCHEMA};
 
 use std::error::Error;
 use std::fmt;

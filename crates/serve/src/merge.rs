@@ -11,20 +11,30 @@
 //! order, with how much work-stealing — none of it is visible here,
 //! which is what makes every artifact byte-identical across backends
 //! and shard counts (enforced by `tests/shard_equivalence.rs`). The
-//! single documented exception is [`ServiceStatus::worker_slices`]:
-//! live per-worker tallies read from atomics at publish time, whose
-//! split (never the sum) is execution-dependent by design.
+//! single documented exception is the live shard-runtime section
+//! ([`ObsSnapshot::shards`](vsmooth_obs::ObsSnapshot)): per-shard
+//! counters read from the [`RuntimeStats`] scoreboard at publish time,
+//! whose steal split, queue high-water marks and wall-clock latencies
+//! are execution-dependent by design — only the total slice count
+//! reconciles deterministically (`tests/shard_stress.rs`).
 //!
-//! [`ServiceStatus::worker_slices`]: vsmooth_obs::ServiceStatus
+//! Slice-span trace records take one of two equivalent paths: when the
+//! sharded backend streams spans, each shard builds its slices' spans
+//! locally (through [`slice_span_buffer`], the shared builder) and the
+//! merge stitches the `(shard, epoch, seq)`-tagged bundles into the
+//! global stream at exactly the point the historical loop emitted
+//! them; when a bundle was ring-dropped — or spans are not streamed at
+//! all — the merge synthesizes identical records through the same
+//! builder. Either way the exported bytes are the same.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::control::EpochRec;
-use crate::control::SliceLog;
+use crate::audit::{AuditConfig, AuditLog};
+use crate::control::{BusyChip, EpochRec, SliceLog};
+use crate::introspect::RuntimeStats;
 use crate::job::CompletedJob;
-use crate::shard::ChipCell;
+use crate::shard::{slice_span_buffer, ChipCell};
 use crate::telemetry::TelemetryBook;
 use crate::ServeError;
 use vsmooth_chip::{DroopWindow, PHASE_MARGIN_PCT};
@@ -32,7 +42,9 @@ use vsmooth_monitor::{EpochSample, HealthReport, Monitor, SliceRecord};
 use vsmooth_obs::{ObsConfig, ObsSnapshot, ServiceStatus};
 use vsmooth_profile::{emit_window_span, Profiler};
 use vsmooth_stats::MetricsRegistry;
-use vsmooth_trace::{chip_pid, ArgValue, DroopEvent, Tracer, PID_JOBS, PID_MONITOR};
+use vsmooth_trace::{
+    chip_pid, ArgValue, DroopEvent, ShardStreams, TraceBuffer, Tracer, PID_JOBS, PID_MONITOR,
+};
 
 /// Virtual thread id hosting `droop_window` spans on a chip timeline
 /// (cores are threads 0 and 1).
@@ -75,7 +87,19 @@ pub(crate) struct Merge<'a> {
     /// of recent crossings (the tracer's own ring stays
     /// exporter-owned).
     recent: Option<VecDeque<DroopEvent>>,
-    worker_slices: Arc<Vec<AtomicU64>>,
+    /// The live introspection scoreboard, read (never written) at
+    /// publish boundaries for the snapshot's `shards` section.
+    stats: Arc<RuntimeStats>,
+    /// The per-shard streaming rings, for their lane stats in the
+    /// `shards` section. `None` when spans are not streamed.
+    streams: Option<Arc<ShardStreams>>,
+    /// Whether this run executes on the sharded backend — the `shards`
+    /// section is published only then (a coordinator run has no shard
+    /// runtime to introspect; `/shards` answers 404).
+    sharded: bool,
+    /// The decision audit ring, when [`AuditConfig`] armed it. Folded
+    /// here at replay time, so its contents are deterministic.
+    audit: Option<AuditLog>,
     slice_cycles: u64,
     jobs_submitted: usize,
     book: TelemetryBook,
@@ -104,7 +128,10 @@ impl<'a> Merge<'a> {
         profiler: Option<&'a mut Profiler>,
         monitor: Option<&'a mut Monitor>,
         obs: Option<&'a ObsConfig>,
-        worker_slices: Arc<Vec<AtomicU64>>,
+        stats: Arc<RuntimeStats>,
+        streams: Option<Arc<ShardStreams>>,
+        sharded: bool,
+        audit: Option<&AuditConfig>,
         chips: usize,
         slice_cycles: u64,
         jobs_submitted: usize,
@@ -121,7 +148,10 @@ impl<'a> Merge<'a> {
             publish_every,
             recent_cap,
             recent,
-            worker_slices,
+            stats,
+            streams,
+            sharded,
+            audit: audit.map(|a| AuditLog::new(a.capacity)),
             slice_cycles,
             jobs_submitted,
             book: TelemetryBook::new(),
@@ -144,13 +174,69 @@ impl<'a> Merge<'a> {
         &self.book
     }
 
+    /// Synthesizes one busy chip's slice spans through the shared
+    /// builder — the fallback when no shard-built bundle arrived, and
+    /// the debug-time oracle when one did.
+    fn synth_slice_spans(&self, b: &BusyChip, now: u64, cycles: u64) -> TraceBuffer {
+        slice_span_buffer(
+            b.chip,
+            now,
+            cycles,
+            b.cores.iter().enumerate().filter_map(|(core, cs)| {
+                cs.as_ref()
+                    .map(|cs| (core, self.running[&cs.job].spec.workload.as_str(), cs.job))
+            }),
+        )
+    }
+
+    /// The snapshot sections carrying live/audit runtime state.
+    fn shards_section(&self) -> Option<vsmooth_obs::ShardsStatus> {
+        self.sharded.then(|| {
+            self.stats
+                .status(self.epochs_merged, self.streams.as_deref())
+        })
+    }
+
     /// Replays one epoch record with its busy chips' logs (in
-    /// `rec.busy` order). Returns the typed overflow error when the
-    /// record ends in an admission overflow, after replaying the
-    /// admissions that preceded it — leaving metrics and trace state
-    /// exactly as the historical in-line loop left them.
-    pub(crate) fn replay(&mut self, rec: &EpochRec, logs: &[SliceLog]) -> Result<(), ServeError> {
+    /// `rec.busy` order) and, when spans are streamed, the shard-built
+    /// span bundles aligned with those logs (`None` entries are
+    /// synthesized). Returns the typed overflow error when the record
+    /// ends in an admission overflow, after replaying the admissions
+    /// that preceded it — leaving metrics and trace state exactly as
+    /// the historical in-line loop left them.
+    pub(crate) fn replay(
+        &mut self,
+        rec: &EpochRec,
+        logs: &[SliceLog],
+        spans: Vec<Option<TraceBuffer>>,
+    ) -> Result<(), ServeError> {
         let now = rec.now;
+        if !rec.decisions.is_empty() {
+            if let Some(log) = self.audit.as_mut() {
+                self.metrics
+                    .counter_add("serve_audit_events_total", rec.decisions.len() as u64);
+                for d in &rec.decisions {
+                    if self.tracer.is_enabled() {
+                        let mut args = vec![("reason", ArgValue::from(d.reason))];
+                        if let Some(chip) = d.chip {
+                            args.push(("chip", ArgValue::from(chip)));
+                        }
+                        if let Some(job) = d.job {
+                            args.push(("job", ArgValue::from(job)));
+                        }
+                        self.tracer.instant(
+                            d.kind.label(),
+                            "decision",
+                            PID_JOBS,
+                            d.job.unwrap_or(0),
+                            d.cycle,
+                            args,
+                        );
+                    }
+                    log.push(d.clone());
+                }
+            }
+        }
         for job in &rec.admits {
             self.metrics.counter_add("serve_jobs_admitted_total", 1);
             self.admitted += 1;
@@ -199,7 +285,9 @@ impl<'a> Merge<'a> {
         let mut epoch_droops = 0u64;
         let mut epoch_min_margin = PHASE_MARGIN_PCT;
         let mut epoch_margin_weight = 0.0f64;
+        let mut spans = spans.into_iter();
         for (b, log) in rec.busy.iter().zip(logs) {
+            let stitched = spans.next().flatten();
             let slice = &log.stats;
             for (core, cs) in b.cores.iter().enumerate() {
                 // The decision loop predicted this slice's completions
@@ -234,18 +322,21 @@ impl<'a> Merge<'a> {
                 self.metrics.observe("droop_depth_pct", slice.max_droop_pct);
             }
             if self.tracer.is_enabled() {
-                for (core, cs) in b.cores.iter().enumerate() {
-                    let Some(cs) = cs else { continue };
-                    let meta = &self.running[&cs.job];
-                    self.tracer.complete(
-                        meta.spec.workload.clone(),
-                        "slice",
-                        chip_pid(b.chip),
-                        core as u64,
-                        now,
-                        slice.cycles,
-                        vec![("job", ArgValue::from(cs.job))],
-                    );
+                // Stitch the shard-built bundle in, or synthesize the
+                // identical records when none was delivered; either
+                // way the global stream's bytes are the same.
+                match stitched {
+                    Some(bundle) => {
+                        debug_assert_eq!(
+                            bundle,
+                            self.synth_slice_spans(b, now, slice.cycles),
+                            "shard-built slice spans drifted from the merge synthesis"
+                        );
+                        self.tracer.merge(bundle);
+                    }
+                    None => self
+                        .tracer
+                        .merge(self.synth_slice_spans(b, now, slice.cycles)),
                 }
             }
             if self.tracer.wants_droop_events()
@@ -391,11 +482,6 @@ impl<'a> Merge<'a> {
                     jobs_admitted: self.admitted,
                     jobs_completed: self.completed.len() as u64,
                     droops: self.droops,
-                    worker_slices: self
-                        .worker_slices
-                        .iter()
-                        .map(|w| w.load(Ordering::Relaxed))
-                        .collect(),
                     done: false,
                 };
                 oc.hub.publish(ObsSnapshot {
@@ -403,6 +489,12 @@ impl<'a> Merge<'a> {
                     health: self.monitor.as_deref().map(Monitor::status),
                     service: Some(status),
                     fleet: None,
+                    shards: self.shards_section(),
+                    decisions: self
+                        .audit
+                        .as_ref()
+                        .map(AuditLog::events)
+                        .unwrap_or_default(),
                     recent_droops: self.recent.iter().flatten().cloned().collect(),
                     profile_json: self.last_profile.clone(),
                 });
@@ -538,6 +630,14 @@ impl<'a> Merge<'a> {
             self.tracer.export_telemetry(self.metrics);
         }
         let snapshot = self.metrics.snapshot();
+        // Both backends credit every executed slice to the live
+        // scoreboard, so the introspection tallies must reconcile
+        // exactly with the deterministic counter.
+        debug_assert_eq!(
+            self.stats.slices_total(),
+            snapshot.counter("serve_slices_total"),
+            "introspection slice tallies drifted from serve_slices_total"
+        );
         if let Some(oc) = self.obs {
             // Final publish: the complete end-of-run registry (alert
             // counters, monitor gauges, attribution series included),
@@ -555,14 +655,15 @@ impl<'a> Merge<'a> {
                     jobs_admitted: self.admitted,
                     jobs_completed: self.completed.len() as u64,
                     droops: self.droops,
-                    worker_slices: self
-                        .worker_slices
-                        .iter()
-                        .map(|w| w.load(Ordering::Relaxed))
-                        .collect(),
                     done: true,
                 }),
                 fleet: None,
+                shards: self.shards_section(),
+                decisions: self
+                    .audit
+                    .as_ref()
+                    .map(AuditLog::events)
+                    .unwrap_or_default(),
                 recent_droops: self.recent.iter().flatten().cloned().collect(),
                 profile_json: self.last_profile.clone(),
             });
@@ -604,6 +705,7 @@ impl<'a> Merge<'a> {
             snapshot,
             completed,
             health: health.as_ref().map(HealthReport::summary),
+            audit: self.audit.as_ref().map(AuditLog::report),
         })
     }
 }

@@ -43,7 +43,9 @@
 //! against the in-line coordinator backend at 1/2/4/8 shards for five
 //! artifact classes, byte for byte.
 
+use crate::audit::{AuditConfig, AuditReport};
 use crate::control::{BusyChip, CellJob, CoreSlice, EpochRec, PlaceRec, RuntimeMode, SliceLog};
+use crate::introspect::RuntimeStats;
 use crate::job::{CompletedJob, JobSpec};
 use crate::merge::{Merge, PROFILE_TID};
 use crate::shard::{Backend, ChipCell, DrainPlan};
@@ -51,8 +53,8 @@ use crate::telemetry::TelemetryBook;
 use crate::ServeError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Instant;
 use vsmooth_chip::sense::CrossingGrid;
 use vsmooth_chip::{
     Chip, ChipConfig, ChipSession, InvariantConfig, WindowConfig, PHASE_MARGIN_PCT,
@@ -62,7 +64,10 @@ use vsmooth_obs::ObsConfig;
 use vsmooth_profile::{ProfileConfig, ProfileReport, Profiler};
 use vsmooth_sched::PairPolicy;
 use vsmooth_stats::{MetricsRegistry, MetricsSnapshot};
-use vsmooth_trace::{chip_pid, Tracer, PID_JOBS, PID_MONITOR};
+use vsmooth_trace::{
+    chip_pid, DecisionEvent, DecisionKind, ShardStreams, Tracer, DEFAULT_SHARD_RING, PID_JOBS,
+    PID_MONITOR,
+};
 use vsmooth_uarch::{IdleLoop, StimulusSource};
 use vsmooth_workload::by_name;
 
@@ -100,6 +105,14 @@ pub struct ServiceConfig {
     /// violation fails the run with
     /// [`ServeError::InvariantViolations`]. Off by default.
     pub invariants: bool,
+    /// Arm the scheduler decision audit log: the decision loop records
+    /// a typed [`DecisionEvent`] for every admit/place/grant/shed/
+    /// demote, folded into a bounded ring by the merge layer and
+    /// exported as the `vsmooth-audit-v1` artifact on
+    /// [`ServiceReport::audit`]. Deterministic: the ring and its JSON
+    /// are byte-identical at any worker count. Off by default, so
+    /// unaudited reports compare equal to historical ones.
+    pub audit: Option<AuditConfig>,
 }
 
 impl ServiceConfig {
@@ -115,6 +128,7 @@ impl ServiceConfig {
             obs: None,
             runtime: RuntimeMode::Auto,
             invariants: false,
+            audit: None,
         }
     }
 }
@@ -188,6 +202,10 @@ pub struct ServiceReport {
     /// ([`Service::run_monitored`]); `None` otherwise, so unmonitored
     /// reports compare equal across observation modes.
     pub health: Option<HealthSummary>,
+    /// The sealed decision audit when [`ServiceConfig::audit`] was
+    /// armed; `None` otherwise, so unaudited reports compare equal
+    /// across observation modes.
+    pub audit: Option<AuditReport>,
 }
 
 impl ServiceReport {
@@ -423,17 +441,32 @@ impl Service {
             "queue_wait_kcycles",
             "Admission-queue wait per completed job, kilocycles.",
         );
+        if self.cfg.audit.is_some() {
+            metrics.describe(
+                "serve_audit_events_total",
+                "Scheduler decisions folded into the audit ring.",
+            );
+        }
         let obs = self.cfg.obs.as_ref();
-        // Per-worker slice tallies for /status. Work stealing makes
-        // the split nondeterministic, so they go only into published
-        // snapshots, never into the deterministic report.
-        let worker_slices: Arc<Vec<AtomicU64>> =
-            Arc::new((0..workers.max(1)).map(|_| AtomicU64::new(0)).collect());
+        let audit_on = self.cfg.audit.is_some();
         let sharded = match self.cfg.runtime {
             RuntimeMode::Auto => workers >= 2,
             RuntimeMode::Coordinator => false,
             RuntimeMode::Sharded => true,
         };
+        // The live introspection scoreboard: shards, cells, pump and
+        // decision loop all feed it; only the per-shard obs snapshot
+        // section reads it (never the deterministic report).
+        let stats = Arc::new(RuntimeStats::new(
+            if sharded { workers.max(1) } else { 1 },
+            self.cfg.chips,
+        ));
+        // Per-shard streaming telemetry: shards build their own slice
+        // spans and stream them through bounded rings the merge layer
+        // stitches (or re-synthesizes on drop) in `(epoch, chip)`
+        // order. Only worth arming when there is a tracer to feed.
+        let streams = (sharded && tracer.is_enabled())
+            .then(|| Arc::new(ShardStreams::new(workers.max(1), DEFAULT_SHARD_RING)));
         let mut cells = self.build_pool(sharded)?;
         if tracer.is_enabled() {
             tracer.process_name(PID_JOBS, "jobs");
@@ -485,22 +518,19 @@ impl Service {
                 || obs.is_some(),
             windows: profiler.is_some(),
             invariants: self.cfg.invariants,
+            stream_spans: streams.is_some(),
         };
         let mut backend = if sharded {
             Backend::sharded(
                 cells,
                 workers.max(1),
-                Arc::clone(&worker_slices),
+                Arc::clone(&stats),
+                streams.clone(),
                 self.cfg.slice_cycles,
                 drain,
             )
         } else {
-            Backend::inline(
-                cells,
-                Arc::clone(&worker_slices),
-                self.cfg.slice_cycles,
-                drain,
-            )
+            Backend::inline(cells, Arc::clone(&stats), self.cfg.slice_cycles, drain)
         };
         let mut merge = Merge::new(
             &metrics,
@@ -508,7 +538,10 @@ impl Service {
             profiler,
             monitor,
             obs,
-            Arc::clone(&worker_slices),
+            Arc::clone(&stats),
+            streams.clone(),
+            sharded,
+            self.cfg.audit.as_ref(),
             self.cfg.chips,
             self.cfg.slice_cycles,
             jobs.len(),
@@ -531,6 +564,9 @@ impl Service {
         let mut finished_jobs = 0usize;
 
         while finished_jobs < jobs.len() {
+            // Decision-loop wall latency is measured only when obs is
+            // armed, so wall clocks never tick in unobserved runs.
+            let decide_start = obs.map(|_| Instant::now());
             let mut rec = EpochRec::new(epochs, now);
             while pending.front().is_some_and(|j| j.arrival_cycle <= now) {
                 let job = pending.pop_front().expect("front checked");
@@ -543,6 +579,17 @@ impl Service {
                         // surface the typed error.
                         let overflowing = job.id;
                         rec.overflow = Some((capacity, overflowing));
+                        if audit_on {
+                            rec.decisions.push(DecisionEvent {
+                                epoch: epochs,
+                                cycle: now,
+                                kind: DecisionKind::Shed,
+                                job: Some(overflowing),
+                                chip: None,
+                                core: None,
+                                reason: "queue_overflow",
+                            });
+                        }
                         script.push(rec);
                         backend.wait_through(epochs)?;
                         for r in &script[merged as usize..] {
@@ -553,6 +600,17 @@ impl Service {
                             job: overflowing,
                         });
                     }
+                }
+                if audit_on {
+                    rec.decisions.push(DecisionEvent {
+                        epoch: epochs,
+                        cycle: job.arrival_cycle,
+                        kind: DecisionKind::Admit,
+                        job: Some(job.id),
+                        chip: None,
+                        core: None,
+                        reason: "arrival",
+                    });
                 }
                 rec.admits.push(job.clone());
                 ready.push_back(job);
@@ -606,13 +664,53 @@ impl Service {
                         }
                     }
                 }
+                if audit_on {
+                    rec.decisions.push(DecisionEvent {
+                        epoch: epochs,
+                        cycle: now,
+                        kind: DecisionKind::Grant,
+                        job: None,
+                        chip: Some(chip),
+                        core: None,
+                        reason: "quantum",
+                    });
+                    // A finishing core that leaves a running partner
+                    // demotes that partner to solo execution.
+                    for (core, slot) in cores.iter().enumerate() {
+                        let finished = slot.as_ref().is_some_and(|c| c.finishes);
+                        if !finished {
+                            continue;
+                        }
+                        if let Some(partner) = &shadow.cores[1 - core] {
+                            rec.decisions.push(DecisionEvent {
+                                epoch: epochs,
+                                cycle: now + self.cfg.slice_cycles,
+                                kind: DecisionKind::Demote,
+                                job: Some(partner.spec.id),
+                                chip: Some(chip),
+                                core: Some(1 - core),
+                                reason: "partner_finished",
+                            });
+                        }
+                    }
+                }
                 rec.busy.push(BusyChip { chip, cores });
             }
             let busy_chips: Vec<usize> = rec.busy.iter().map(|b| b.chip).collect();
-            backend.grant(epochs, &busy_chips)?;
+            stats.grants.fetch_add(
+                busy_chips.len() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            backend.grant(epochs, now, &busy_chips)?;
             rec.queue_depth_after = ready.len();
             rec.running_after = shadows.iter().map(ShadowChip::occupied).sum();
             script.push(rec);
+            stats
+                .epochs_decided
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(start) = decide_start {
+                stats.record_decision_latency(start.elapsed().as_micros() as u64);
+            }
             now += self.cfg.slice_cycles;
             epochs += 1;
             // Opportunistic merge: replay every epoch whose logs are
@@ -714,7 +812,7 @@ impl Service {
                 }
             }
             let job = ready.remove(best.0).expect("index in window");
-            self.start_job(shadow, chip_idx, job, rec, backend)?;
+            self.start_job(shadow, chip_idx, job, "pair_resident", rec, backend)?;
         }
         // 2. Empty chips: best pair within the window.
         for (chip_idx, shadow) in shadows.iter_mut().enumerate() {
@@ -739,8 +837,8 @@ impl Service {
             // Remove the later index first so the earlier stays valid.
             let second = ready.remove(best.1).expect("index in window");
             let first = ready.remove(best.0).expect("index in window");
-            self.start_job(shadow, chip_idx, first, rec, backend)?;
-            self.start_job(shadow, chip_idx, second, rec, backend)?;
+            self.start_job(shadow, chip_idx, first, "best_pair", rec, backend)?;
+            self.start_job(shadow, chip_idx, second, "best_pair", rec, backend)?;
         }
         // 3. A single leftover with a free chip runs solo.
         if let Some((chip_idx, shadow)) = shadows
@@ -750,7 +848,7 @@ impl Service {
         {
             if ready.len() == 1 {
                 let job = ready.pop_front().expect("one job");
-                self.start_job(shadow, chip_idx, job, rec, backend)?;
+                self.start_job(shadow, chip_idx, job, "solo", rec, backend)?;
             }
         }
         Ok(())
@@ -761,6 +859,7 @@ impl Service {
         shadow: &mut ShadowChip,
         chip_idx: usize,
         spec: JobSpec,
+        reason: &'static str,
         rec: &mut EpochRec,
         backend: &mut Backend,
     ) -> Result<(), ServeError> {
@@ -780,9 +879,21 @@ impl Service {
             core,
             CellJob {
                 id: spec.id,
+                workload: spec.workload.clone(),
                 stream,
             },
         );
+        if self.cfg.audit.is_some() {
+            rec.decisions.push(DecisionEvent {
+                epoch: rec.index,
+                cycle: rec.now,
+                kind: DecisionKind::Place,
+                job: Some(spec.id),
+                chip: Some(chip_idx),
+                core: Some(core),
+                reason,
+            });
+        }
         rec.places.push(PlaceRec {
             spec: spec.clone(),
             chip: chip_idx,
@@ -806,7 +917,16 @@ fn drive_epoch(merge: &mut Merge, backend: &mut Backend, rec: &EpochRec) -> Resu
         .iter()
         .map(|b| backend.take_log(rec.index, b.chip))
         .collect();
-    merge.replay(rec, &logs)
+    // Shard-streamed slice spans, where they arrived: one optional
+    // buffer per busy chip, in the same order as `logs`. Missing
+    // entries (inline backend, streaming off, or ring drop) are
+    // re-synthesized by the merge layer from the epoch record.
+    let spans = rec
+        .busy
+        .iter()
+        .map(|b| backend.take_spans(rec.index, b.chip))
+        .collect();
+    merge.replay(rec, &logs, spans)
 }
 
 #[cfg(test)]
@@ -1115,8 +1235,16 @@ mod tests {
         assert!(status.done);
         assert_eq!(status.jobs_completed, observed.jobs_completed as u64);
         assert_eq!(status.droops, observed.droops);
+        // A sharded run publishes the live introspection section, and
+        // its per-shard slice tallies reconcile exactly with the
+        // deterministic slice counter.
+        let shards = last.shards.as_ref().expect("sharded run publishes /shards");
         assert_eq!(
-            status.worker_slices.iter().sum::<u64>(),
+            shards
+                .shards
+                .iter()
+                .map(|s| s.slices_owned + s.slices_stolen)
+                .sum::<u64>(),
             observed.snapshot.counter("serve_slices_total")
         );
         assert_eq!(last.health.as_ref().map(|h| h.epochs), Some(health.epochs));

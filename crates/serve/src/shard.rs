@@ -14,13 +14,15 @@
 //! backend keeps the historical dyn-dispatch reference loop.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::control::{CellCmd, CellJob, EventBus, ShardEvent, SliceLog, TokenBoard};
+use crate::introspect::RuntimeStats;
 use crate::ServeError;
 use vsmooth_chip::{ChipError, ChipSession, SliceStats};
+use vsmooth_trace::{chip_pid, ArgValue, ShardStreams, TaggedBundle, TraceBuffer};
 use vsmooth_uarch::{IdleLoop, StimulusSource};
 
 /// One pool member: a warmed-up measurement session plus whatever is
@@ -118,6 +120,41 @@ pub(crate) struct DrainPlan {
     pub crossings: bool,
     pub windows: bool,
     pub invariants: bool,
+    /// Whether shards build each slice's trace spans locally and
+    /// stream them through the per-shard ring (tracer enabled on the
+    /// sharded backend). The merge layer stitches the bundles into the
+    /// global stream — or resynthesizes identical records when a full
+    /// ring dropped one — so this flag never changes a single exported
+    /// byte.
+    pub stream_spans: bool,
+}
+
+/// Builds the per-slice trace spans of one busy chip: one `slice` span
+/// per resident core, in core order, named after the workload.
+///
+/// This is THE span builder — the shard streaming path and the merge
+/// layer's synthesis fallback both call it, so the two byte streams
+/// cannot drift apart (and `Merge::replay` debug-asserts they agree
+/// record for record).
+pub(crate) fn slice_span_buffer<'a>(
+    chip: usize,
+    now: u64,
+    cycles: u64,
+    residents: impl Iterator<Item = (usize, &'a str, u64)>,
+) -> TraceBuffer {
+    let mut buf = TraceBuffer::new();
+    for (core, workload, job) in residents {
+        buf.span(
+            workload,
+            "slice",
+            chip_pid(chip),
+            core as u64,
+            now,
+            cycles,
+            vec![("job", ArgValue::from(job))],
+        );
+    }
+    buf
 }
 
 /// The `(shard, seq, epoch, chip)` identity stamped onto one executed
@@ -181,11 +218,16 @@ struct PoolShared {
     cells: Vec<Mutex<CellSlot>>,
     tokens: TokenBoard,
     bus: EventBus,
-    /// Live per-worker slice tallies, shared with obs publishes. The
-    /// split across workers is execution-dependent (work-stealing);
-    /// only the sum is deterministic. All other metrics are recorded
-    /// by the merge layer, never here.
-    worker_slices: Arc<Vec<AtomicU64>>,
+    /// The live introspection scoreboard, shared with obs publishes.
+    /// The per-shard split of slice counts is execution-dependent
+    /// (work-stealing); only the sum is deterministic. All
+    /// determinism-pinned metrics are recorded by the merge layer,
+    /// never here.
+    stats: Arc<RuntimeStats>,
+    /// Per-shard bounded rings carrying shard-built slice-span
+    /// bundles to the merge layer; `Some` exactly when
+    /// [`DrainPlan::stream_spans`] is set.
+    streams: Option<Arc<ShardStreams>>,
     slice_cycles: u64,
     drain: DrainPlan,
 }
@@ -213,7 +255,8 @@ impl Drop for ExitBell<'_> {
 fn shard_main(me: usize, shared: &PoolShared) {
     let _bell = ExitBell(&shared.bus);
     let mut seq = 0u64;
-    while let Some(chip) = shared.tokens.next(me) {
+    while let Some(token) = shared.tokens.next(me) {
+        let chip = token.chip;
         let mut slot = shared.cells[chip].lock().expect("cell lock");
         while let Some(cmd) = slot.cmds.pop_front() {
             match cmd {
@@ -224,7 +267,20 @@ fn shard_main(me: usize, shared: &PoolShared) {
                     );
                     slot.cell.cores[core] = Some(job);
                 }
-                CellCmd::Grant { epoch } => {
+                CellCmd::Grant { epoch, now } => {
+                    // Residents must be captured before the slice runs:
+                    // `exec_slice` pops finished jobs, and the spans
+                    // are labeled with whoever was on-core *during*
+                    // the quantum.
+                    let residents: [Option<(String, u64)>; 2] = if shared.drain.stream_spans {
+                        let mut r = [None, None];
+                        for (core, resident) in slot.cell.cores.iter().enumerate() {
+                            r[core] = resident.as_ref().map(|j| (j.workload.clone(), j.id));
+                        }
+                        r
+                    } else {
+                        [None, None]
+                    };
                     let tag = SliceTag {
                         shard: me,
                         seq,
@@ -235,9 +291,34 @@ fn shard_main(me: usize, shared: &PoolShared) {
                         exec_slice(&mut slot.cell, true, tag, shared.slice_cycles, shared.drain);
                     match outcome {
                         Ok(log) => {
-                            shared.worker_slices[me].fetch_add(1, Ordering::Relaxed);
+                            shared.stats.record_slice(me, token.stolen);
+                            if let Some(streams) = &shared.streams {
+                                let records = slice_span_buffer(
+                                    chip,
+                                    now,
+                                    log.stats.cycles,
+                                    residents.iter().enumerate().filter_map(|(c, r)| {
+                                        r.as_ref().map(|(w, id)| (c, w.as_str(), *id))
+                                    }),
+                                );
+                                // Offer before publishing the log: the
+                                // merge layer only looks for a bundle
+                                // once the log has arrived, so this
+                                // order guarantees the bundle is
+                                // visible by then (or counted dropped).
+                                streams.offer(TaggedBundle {
+                                    shard: me,
+                                    seq,
+                                    epoch,
+                                    chip,
+                                    records,
+                                });
+                            }
                             seq += 1;
-                            shared.bus.publish(me, ShardEvent::Slice(log));
+                            let occupancy = shared.bus.publish(me, ShardEvent::Slice(log));
+                            shared.stats.shards[me]
+                                .lane_hwm
+                                .fetch_max(occupancy as u64, Ordering::Relaxed);
                         }
                         Err(error) => {
                             shared.bus.publish(me, ShardEvent::Failed { error });
@@ -268,7 +349,14 @@ pub(crate) struct ShardPool {
     /// and each shard stamps its slices 0, 1, 2, … — so logs must
     /// arrive in exactly that order per lane.
     next_seq: Vec<u64>,
+    /// Chip index → shard that executed its previous slice, for the
+    /// ownership-churn introspection counter.
+    last_executor: Vec<Option<usize>>,
+    /// Shard-built slice-span bundles pulled off the streaming rings,
+    /// keyed like `received` for the merge layer's stitch.
+    received_spans: BTreeMap<(u64, usize), TraceBuffer>,
     scratch: Vec<ShardEvent>,
+    bundle_scratch: Vec<TaggedBundle>,
     failure: Option<ChipError>,
 }
 
@@ -276,11 +364,13 @@ impl ShardPool {
     fn new(
         cells: Vec<ChipCell>,
         shards: usize,
-        worker_slices: Arc<Vec<AtomicU64>>,
+        stats: Arc<RuntimeStats>,
+        streams: Option<Arc<ShardStreams>>,
         slice_cycles: u64,
         drain: DrainPlan,
     ) -> Self {
-        let owner_of: Vec<usize> = (0..cells.len()).map(|chip| chip % shards).collect();
+        let chips = cells.len();
+        let owner_of: Vec<usize> = (0..chips).map(|chip| chip % shards).collect();
         let shared = Arc::new(PoolShared {
             cells: cells
                 .into_iter()
@@ -293,7 +383,8 @@ impl ShardPool {
                 .collect(),
             tokens: TokenBoard::new(shards),
             bus: EventBus::new(shards),
-            worker_slices,
+            stats,
+            streams,
             slice_cycles,
             drain,
         });
@@ -314,26 +405,36 @@ impl ShardPool {
             received: BTreeMap::new(),
             seen: 0,
             next_seq: vec![0; shards],
+            last_executor: vec![None; chips],
+            received_spans: BTreeMap::new(),
             scratch: Vec::new(),
+            bundle_scratch: Vec::new(),
             failure: None,
         }
     }
 
-    fn add_job(&self, chip: usize, core: usize, job: CellJob) {
-        self.shared.cells[chip]
-            .lock()
-            .expect("cell lock")
-            .cmds
-            .push_back(CellCmd::AddJob { core, job });
+    /// Records the depth a cell's command queue just reached.
+    fn note_queue_depth(&self, chip: usize, depth: usize) {
+        self.shared.stats.cell_queue_hwm[chip].fetch_max(depth as u64, Ordering::Relaxed);
     }
 
-    fn grant(&mut self, epoch: u64, busy: &[usize]) {
+    fn add_job(&self, chip: usize, core: usize, job: CellJob) {
+        let depth = {
+            let mut slot = self.shared.cells[chip].lock().expect("cell lock");
+            slot.cmds.push_back(CellCmd::AddJob { core, job });
+            slot.cmds.len()
+        };
+        self.note_queue_depth(chip, depth);
+    }
+
+    fn grant(&mut self, epoch: u64, now: u64, busy: &[usize]) {
         for &chip in busy {
-            self.shared.cells[chip]
-                .lock()
-                .expect("cell lock")
-                .cmds
-                .push_back(CellCmd::Grant { epoch });
+            let depth = {
+                let mut slot = self.shared.cells[chip].lock().expect("cell lock");
+                slot.cmds.push_back(CellCmd::Grant { epoch, now });
+                slot.cmds.len()
+            };
+            self.note_queue_depth(chip, depth);
             self.outstanding.insert((epoch, chip));
         }
         self.shared
@@ -341,7 +442,11 @@ impl ShardPool {
             .push_many(busy.iter().map(|&chip| (self.owner_of[chip], chip)));
     }
 
-    /// Non-blocking: drains the bus into `received`.
+    /// Non-blocking: drains the bus into `received` and the streaming
+    /// rings into `received_spans`. The bus drains first — a shard
+    /// offers its span bundle before publishing the matching log, so
+    /// once a log is visible here its bundle is either on the ring or
+    /// already counted as dropped.
     fn pump(&mut self) -> Result<(), ServeError> {
         self.shared.bus.drain(&mut self.scratch);
         for event in self.scratch.drain(..) {
@@ -352,10 +457,24 @@ impl ShardPool {
                         "shard lane delivered slices out of order"
                     );
                     self.next_seq[log.shard] = log.seq + 1;
+                    if self.last_executor[log.chip].is_some_and(|prev| prev != log.shard) {
+                        self.shared
+                            .stats
+                            .ownership_churn
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.last_executor[log.chip] = Some(log.shard);
                     self.outstanding.remove(&(log.epoch, log.chip));
                     self.received.insert((log.epoch, log.chip), log);
                 }
                 ShardEvent::Failed { error } => self.failure = Some(error),
+            }
+        }
+        if let Some(streams) = &self.shared.streams {
+            streams.drain_into(&mut self.bundle_scratch);
+            for bundle in self.bundle_scratch.drain(..) {
+                self.received_spans
+                    .insert((bundle.epoch, bundle.chip), bundle.records);
             }
         }
         match self.failure.clone() {
@@ -424,7 +543,7 @@ pub(crate) struct InlineExec {
     cells: Vec<ChipCell>,
     logs: BTreeMap<(u64, usize), SliceLog>,
     seq: u64,
-    worker_slices: Arc<Vec<AtomicU64>>,
+    stats: Arc<RuntimeStats>,
     slice_cycles: u64,
     drain: DrainPlan,
 }
@@ -439,7 +558,7 @@ pub(crate) enum Backend {
 impl Backend {
     pub(crate) fn inline(
         cells: Vec<ChipCell>,
-        worker_slices: Arc<Vec<AtomicU64>>,
+        stats: Arc<RuntimeStats>,
         slice_cycles: u64,
         drain: DrainPlan,
     ) -> Self {
@@ -447,7 +566,7 @@ impl Backend {
             cells,
             logs: BTreeMap::new(),
             seq: 0,
-            worker_slices,
+            stats,
             slice_cycles,
             drain,
         })
@@ -456,14 +575,16 @@ impl Backend {
     pub(crate) fn sharded(
         cells: Vec<ChipCell>,
         shards: usize,
-        worker_slices: Arc<Vec<AtomicU64>>,
+        stats: Arc<RuntimeStats>,
+        streams: Option<Arc<ShardStreams>>,
         slice_cycles: u64,
         drain: DrainPlan,
     ) -> Self {
         Self::Sharded(ShardPool::new(
             cells,
             shards,
-            worker_slices,
+            stats,
+            streams,
             slice_cycles,
             drain,
         ))
@@ -480,9 +601,10 @@ impl Backend {
         }
     }
 
-    /// Grants `busy` chips one quantum for `epoch`. In-line: executes
-    /// now. Sharded: enqueues grant commands and chip tokens.
-    pub(crate) fn grant(&mut self, epoch: u64, busy: &[usize]) -> Result<(), ServeError> {
+    /// Grants `busy` chips one quantum for `epoch` starting at virtual
+    /// cycle `now`. In-line: executes immediately. Sharded: enqueues
+    /// grant commands and chip tokens.
+    pub(crate) fn grant(&mut self, epoch: u64, now: u64, busy: &[usize]) -> Result<(), ServeError> {
         match self {
             Self::Inline(exec) => {
                 for &chip in busy {
@@ -500,14 +622,15 @@ impl Backend {
                         exec.drain,
                     )
                     .map_err(ServeError::Chip)?;
-                    exec.worker_slices[0].fetch_add(1, Ordering::Relaxed);
+                    exec.stats.record_slice(0, false);
                     exec.seq += 1;
                     exec.logs.insert((epoch, chip), log);
                 }
+                let _ = now;
                 Ok(())
             }
             Self::Sharded(pool) => {
-                pool.grant(epoch, busy);
+                pool.grant(epoch, now, busy);
                 Ok(())
             }
         }
@@ -541,6 +664,17 @@ impl Backend {
         };
         logs.remove(&(epoch, chip))
             .expect("granted slice log available at merge time")
+    }
+
+    /// Hands the merge layer the shard-built slice-span bundle for one
+    /// `(epoch, chip)`, if streaming delivered it. `None` means the
+    /// bundle was ring-dropped (or spans are not streamed at all) and
+    /// the merge layer must synthesize the identical records itself.
+    pub(crate) fn take_spans(&mut self, epoch: u64, chip: usize) -> Option<TraceBuffer> {
+        match self {
+            Self::Inline(_) => None,
+            Self::Sharded(pool) => pool.received_spans.remove(&(epoch, chip)),
+        }
     }
 
     /// Shuts the backend down and returns the cells in chip order for

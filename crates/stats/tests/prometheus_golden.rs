@@ -25,6 +25,27 @@ fn sample_registry() -> MetricsRegistry {
     for v in [0.6, 1.2, 2.4, 4.8, 9.6, 19.2, f64::NAN] {
         m.observe("queue_wait_kcycles", v);
     }
+    // The shard-introspection shapes the obs server renders: a HELP'd
+    // labeled gauge family and a HELP'd plain gauge.
+    m.describe(
+        "serve_shard_slices",
+        "Slices executed per shard, split by claim origin (kind=owned|stolen).",
+    );
+    m.describe(
+        "serve_merge_lag_epochs",
+        "Epochs decided by the scheduler but not yet merged.",
+    );
+    m.gauge_with(
+        "serve_shard_slices",
+        &[("shard", "0"), ("kind", "owned")],
+        31.0,
+    );
+    m.gauge_with(
+        "serve_shard_slices",
+        &[("shard", "0"), ("kind", "stolen")],
+        2.0,
+    );
+    m.gauge_set("serve_merge_lag_epochs", 1.0);
     m
 }
 

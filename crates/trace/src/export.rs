@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -49,15 +49,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod event;
 pub mod export;
+pub mod shard_stream;
 pub mod stream;
 pub mod tracer;
 
+pub use audit::{DecisionEvent, DecisionKind, AUDIT_SCHEMA};
 pub use event::{
     chip_pid, ArgValue, Args, DroopEvent, TraceRecord, PID_CAMPAIGN, PID_JOBS, PID_MONITOR,
 };
 pub use export::{chrome_trace_json, parse_json, validate_chrome_trace, JsonValue, TraceShape};
+pub use shard_stream::{ShardLaneStats, ShardStreams, TaggedBundle, DEFAULT_SHARD_RING};
 pub use stream::{
     ChromeJsonSink, DropReason, SamplerConfig, SinkStats, StreamConfig, TelemetryStats, TraceSink,
 };

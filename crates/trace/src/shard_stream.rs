@@ -1,0 +1,197 @@
+//! Per-shard streaming rings for the shard-per-worker runtime.
+//!
+//! In the sharded service each worker shard builds the slice-span
+//! records for the quanta it executes (it holds the cell lock and all
+//! the span fields anyway) and offers them here as a
+//! `(shard, seq, epoch, chip)`-tagged [`TaggedBundle`]. Every shard
+//! owns a private fixed-capacity ring — one producer (the shard), one
+//! consumer (the coordinator's pump) — so telemetry never contends
+//! across shards and peak memory is the ring, not the trace.
+//!
+//! The merge layer stitches drained bundles into the global stream in
+//! `(epoch, chip)` order, which is exactly the order the single-sink
+//! coordinator path emits, so the merged trace is byte-identical at
+//! any shard count. A full ring *drops* the bundle (counted, never
+//! silent); the merge then rebuilds the identical records itself from
+//! the slice log, so a drop costs coordinator CPU, never bytes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::tracer::TraceBuffer;
+
+/// Default per-shard ring capacity, in bundles (one bundle per
+/// executed slice).
+pub const DEFAULT_SHARD_RING: usize = 256;
+
+/// One shard-built batch of trace records, tagged with its origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedBundle {
+    /// Shard that executed the slice and built the records.
+    pub shard: usize,
+    /// Per-shard monotone sequence number (gapless per lane).
+    pub seq: u64,
+    /// Scheduling epoch of the slice.
+    pub epoch: u64,
+    /// Chip the slice ran on — with `epoch`, the merge key.
+    pub chip: usize,
+    /// The slice's trace records, in emission order.
+    pub records: TraceBuffer,
+}
+
+/// Live counters of one shard's ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLaneStats {
+    /// Bundles the shard offered to the ring.
+    pub offered: u64,
+    /// Bundles rejected because the ring was full.
+    pub dropped: u64,
+    /// High-water mark of ring occupancy.
+    pub peak_occupancy: u64,
+    /// Ring capacity, in bundles.
+    pub capacity: u64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    ring: Mutex<VecDeque<TaggedBundle>>,
+    offered: AtomicU64,
+    dropped: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// One bounded ring per shard, single-producer single-consumer by
+/// convention (the mutex makes violations safe, just slower).
+#[derive(Debug)]
+pub struct ShardStreams {
+    lanes: Vec<Lane>,
+    capacity: usize,
+}
+
+impl ShardStreams {
+    /// Builds `shards` rings of `capacity` bundles each.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "shard ring capacity must be positive");
+        let lanes = (0..shards.max(1))
+            .map(|_| Lane {
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                offered: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            })
+            .collect();
+        Self { lanes, capacity }
+    }
+
+    /// Number of rings.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Per-ring capacity, in bundles.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a bundle to its shard's ring. Returns `false` (and
+    /// counts the drop) when the ring is full — the producer never
+    /// blocks on a slow consumer.
+    pub fn offer(&self, bundle: TaggedBundle) -> bool {
+        let lane = &self.lanes[bundle.shard % self.lanes.len()];
+        lane.offered.fetch_add(1, Ordering::Relaxed);
+        let mut ring = lane.ring.lock().expect("shard stream lane");
+        if ring.len() >= self.capacity {
+            drop(ring);
+            lane.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        ring.push_back(bundle);
+        let occupancy = ring.len() as u64;
+        drop(ring);
+        lane.peak.fetch_max(occupancy, Ordering::Relaxed);
+        true
+    }
+
+    /// Drains every ring into `out`, lane by lane (each lane in FIFO
+    /// order). The merge re-keys by `(epoch, chip)`, so the cross-lane
+    /// order here is irrelevant to the artifact.
+    pub fn drain_into(&self, out: &mut Vec<TaggedBundle>) {
+        for lane in &self.lanes {
+            let mut ring = lane.ring.lock().expect("shard stream lane");
+            out.extend(ring.drain(..));
+        }
+    }
+
+    /// Snapshot of every lane's counters, in shard order.
+    pub fn lane_stats(&self) -> Vec<ShardLaneStats> {
+        self.lanes
+            .iter()
+            .map(|lane| ShardLaneStats {
+                offered: lane.offered.load(Ordering::Relaxed),
+                dropped: lane.dropped.load(Ordering::Relaxed),
+                peak_occupancy: lane.peak.load(Ordering::Relaxed),
+                capacity: self.capacity as u64,
+            })
+            .collect()
+    }
+
+    /// Total bundles dropped across every lane.
+    pub fn dropped_total(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle(shard: usize, seq: u64) -> TaggedBundle {
+        TaggedBundle {
+            shard,
+            seq,
+            epoch: seq,
+            chip: 0,
+            records: TraceBuffer::new(),
+        }
+    }
+
+    #[test]
+    fn offers_drain_in_fifo_order_per_lane() {
+        let streams = ShardStreams::new(2, 8);
+        assert!(streams.offer(bundle(0, 0)));
+        assert!(streams.offer(bundle(1, 0)));
+        assert!(streams.offer(bundle(0, 1)));
+        let mut out = Vec::new();
+        streams.drain_into(&mut out);
+        let lane0: Vec<u64> = out.iter().filter(|b| b.shard == 0).map(|b| b.seq).collect();
+        assert_eq!(lane0, vec![0, 1]);
+        assert_eq!(out.len(), 3);
+        let stats = streams.lane_stats();
+        assert_eq!(stats[0].offered, 2);
+        assert_eq!(stats[0].peak_occupancy, 2);
+        assert_eq!(stats[1].offered, 1);
+        assert_eq!(streams.dropped_total(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let streams = ShardStreams::new(1, 2);
+        assert!(streams.offer(bundle(0, 0)));
+        assert!(streams.offer(bundle(0, 1)));
+        assert!(!streams.offer(bundle(0, 2)));
+        assert_eq!(streams.dropped_total(), 1);
+        let stats = streams.lane_stats();
+        assert_eq!(stats[0].offered, 3);
+        assert_eq!(stats[0].dropped, 1);
+        assert_eq!(stats[0].capacity, 2);
+        // The consumer frees slots; offers succeed again.
+        let mut out = Vec::new();
+        streams.drain_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(streams.offer(bundle(0, 3)));
+    }
+}

@@ -12,13 +12,17 @@
 //!   200 once the quiet tail lets it resolve — observed *during* the
 //!   run from the `on_publish` hook, so the check is deterministic
 //!   rather than a wall-clock race;
-//! * all six endpoints answer over plain loopback HTTP with parseable
-//!   payloads (`/profile` from a second, profiled pass);
+//! * all eight endpoints answer over plain loopback HTTP with
+//!   parseable payloads (`/profile` from a second, profiled pass;
+//!   `/shards` with the live per-shard introspection of the sharded
+//!   runtime; `/decisions` with the scheduler audit ring);
+//! * the armed decision audit seals as the `vsmooth-audit-v1` JSON
+//!   artifact, written next to the run;
 //! * malformed and unknown requests get 400/404 without killing the
 //!   accept loop.
 //!
 //! ```text
-//! cargo run --example obs_demo --release
+//! cargo run --example obs_demo --release [audit-out.json]
 //! ```
 
 use std::sync::{Arc, Mutex};
@@ -28,7 +32,7 @@ use vsmooth::monitor::{CusumConfig, MonitorConfig, RecorderConfig, Severity, Sig
 use vsmooth::obs::{http_get, http_send_raw, ObsConfig, ObsServer, ObsSnapshot};
 use vsmooth::pdn::DecapConfig;
 use vsmooth::sched::SameWorkload;
-use vsmooth::serve::{JobSpec, Service, ServiceConfig};
+use vsmooth::serve::{AuditConfig, JobSpec, Service, ServiceConfig};
 use vsmooth::trace::{parse_json, Tracer};
 
 /// Virtual cycle at which the noisy burst begins.
@@ -119,6 +123,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     let mut monitored_cfg = cfg.clone();
     monitored_cfg.obs = Some(obs);
+    // Arm the decision audit: the run's admit/place/grant/demote
+    // decisions fold into a bounded ring served at /decisions and
+    // sealed as the vsmooth-audit-v1 artifact below.
+    monitored_cfg.audit = Some(AuditConfig::default());
     let service = Service::new(monitored_cfg)?;
     let (report, health) = service.run_monitored(
         &degradation_jobs(),
@@ -172,6 +180,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         recent.status
     );
     assert!(returned > 0.0, "the burst must leave recent droops behind");
+
+    // The sharded runtime (2 workers) published its live introspection
+    // section: per-shard owned/stolen slice splits, stream-ring
+    // accounting, queue depths, merge lag.
+    let shards = http_get(addr, "/shards")?;
+    let doc = parse_json(&shards.body).map_err(|e| format!("shards JSON: {e}"))?;
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("vsmooth-obs-shards-v1")
+    );
+    let sections = doc
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .ok_or("shards array missing")?;
+    println!(
+        "GET /shards -> {} ({} shard sections, schema vsmooth-obs-shards-v1)",
+        shards.status,
+        sections.len()
+    );
+    assert_eq!(shards.status, 200);
+
+    // The decision audit ring rides in every snapshot.
+    let decisions = http_get(addr, "/decisions?n=6")?;
+    let doc = parse_json(&decisions.body).map_err(|e| format!("decisions JSON: {e}"))?;
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("vsmooth-obs-decisions-v1")
+    );
+    let available = doc.get("available").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    println!(
+        "GET /decisions?n=6 -> {} ({available} in ring)",
+        decisions.status
+    );
+    assert_eq!(decisions.status, 200);
+    assert!(available > 0.0, "the audited run must record decisions");
+
+    // Seal the audit as its exported artifact.
+    let audit = report.audit.as_ref().ok_or("audit armed but absent")?;
+    let audit_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "obs_demo_audit.json".into());
+    std::fs::write(&audit_path, audit.to_json())?;
+    println!(
+        "audit: vsmooth-audit-v1 sealed to {audit_path} ({} decisions recorded, {} in ring)",
+        audit.total,
+        audit.events.len()
+    );
 
     // A second, profiled pass on the same hub lights up /profile with
     // the live vsmooth-profile-v1 attribution document.

@@ -198,6 +198,121 @@ fn endpoints_serve_parseable_payloads_while_jobs_execute() {
 }
 
 #[test]
+fn shards_and_decisions_endpoints_serve_live_sections_at_every_shard_count() {
+    use vsmooth::serve::{AuditConfig, RuntimeMode};
+
+    for workers in [1usize, 2, 8] {
+        let server = ObsServer::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+
+        // One deterministic mid-run observation, as above: scrape from
+        // inside the publish hook at epoch 40, mid-burst.
+        type Captured = (String, String, String);
+        let captured: Arc<Mutex<Option<Captured>>> = Arc::new(Mutex::new(None));
+        let mut obs = ObsConfig::new(server.hub());
+        obs.on_publish = Some(Arc::new({
+            let captured = Arc::clone(&captured);
+            move |snap: &ObsSnapshot| {
+                if snap.service.as_ref().is_some_and(|s| s.epoch == 40) {
+                    let shards = http_get(addr, "/shards").expect("mid-run /shards");
+                    let decisions = http_get(addr, "/decisions?n=5").expect("mid-run /decisions");
+                    let metrics = http_get(addr, "/metrics").expect("mid-run /metrics");
+                    assert_eq!(shards.status, 200);
+                    assert_eq!(decisions.status, 200);
+                    assert_eq!(metrics.status, 200);
+                    *captured.lock().expect("capture slot") =
+                        Some((shards.body, decisions.body, metrics.body));
+                }
+            }
+        }));
+        let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+        cfg.chips = 2;
+        cfg.slice_cycles = 600;
+        cfg.runtime = RuntimeMode::Sharded;
+        cfg.audit = Some(AuditConfig::default());
+        cfg.obs = Some(obs);
+        let (report, _) = Service::new(cfg)
+            .expect("valid config")
+            .run_monitored(
+                &degradation_jobs(),
+                &SameWorkload,
+                workers,
+                &Tracer::disabled(),
+                monitor_config(),
+            )
+            .expect("service run");
+
+        let (shards_body, decisions_body, metrics_body) = captured
+            .lock()
+            .expect("capture slot")
+            .clone()
+            .expect("epoch 40 must publish");
+
+        // vsmooth-obs-shards-v1: one section per shard worker, live.
+        let doc = parse_json(&shards_body).expect("shards JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(vsmooth::obs::OBS_SHARDS_SCHEMA)
+        );
+        let sections = doc
+            .get("shards")
+            .and_then(|v| v.as_array())
+            .expect("shards array");
+        assert_eq!(sections.len(), workers, "one section per shard");
+        let grants = doc.get("grants").and_then(|v| v.as_f64()).expect("grants");
+        assert!(grants > 0.0, "epoch 40 has granted quanta");
+
+        // vsmooth-obs-decisions-v1: the audit ring tail, capped at n.
+        let doc = parse_json(&decisions_body).expect("decisions JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(vsmooth::obs::OBS_DECISIONS_SCHEMA)
+        );
+        let events = doc
+            .get("events")
+            .and_then(|v| v.as_array())
+            .expect("events array");
+        assert!(!events.is_empty() && events.len() <= 5);
+        for event in events {
+            let kind = event.get("kind").and_then(|v| v.as_str()).expect("kind");
+            assert!(["admit", "place", "grant", "shed", "demote"].contains(&kind));
+        }
+
+        // The introspection gauges ride the /metrics exposition with
+        // HELP metadata, and the audit fold counter is live.
+        assert!(metrics_body.contains("# HELP serve_shard_slices"));
+        assert!(metrics_body.contains("serve_shard_slices{"));
+        assert!(metrics_body.contains("# HELP serve_merge_lag_epochs"));
+        assert!(metrics_body.contains("serve_audit_events_total"));
+
+        // The sealed audit made it onto the report too.
+        let audit = report.audit.as_ref().expect("audit armed");
+        assert!(audit.total > 0);
+        assert_eq!(
+            report.snapshot.counter("serve_audit_events_total"),
+            audit.total
+        );
+        server.shutdown();
+    }
+
+    // A coordinator run has no shard runtime: /shards answers 404
+    // while every other endpoint keeps serving.
+    let server = ObsServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let mut cfg = ServiceConfig::new(ChipConfig::core2_duo(DecapConfig::proc100()));
+    cfg.chips = 2;
+    cfg.slice_cycles = 600;
+    cfg.obs = Some(ObsConfig::new(server.hub()));
+    Service::new(cfg)
+        .expect("valid config")
+        .run(&degradation_jobs()[..4], &SameWorkload, 1)
+        .expect("coordinator run");
+    assert_eq!(http_get(addr, "/status").expect("probe").status, 200);
+    assert_eq!(http_get(addr, "/shards").expect("probe").status, 404);
+    server.shutdown();
+}
+
+#[test]
 fn healthz_degrades_to_503_and_recovers_with_the_run() {
     let server = ObsServer::bind("127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr();

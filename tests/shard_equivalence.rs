@@ -4,7 +4,7 @@
 //! 2, 4 and 8 shards — same seeded job stream, same policy, same
 //! config, only [`RuntimeMode`] varies.
 //!
-//! Five artifact classes are pinned:
+//! Six artifact classes are pinned:
 //!
 //! 1. the [`ServiceReport`] (struct equality *and* rendered bytes),
 //! 2. the Chrome trace JSON,
@@ -12,12 +12,15 @@
 //! 4. the monitor health report JSON (alerts and postmortems
 //!    included),
 //! 5. the obs hub snapshot stream (every periodic publish plus the
-//!    final one).
+//!    final one) — including the decision ring riding in each
+//!    snapshot,
+//! 6. the `vsmooth-audit-v1` decision audit artifact.
 //!
-//! The single documented exception is `ServiceStatus::worker_slices`
-//! inside obs snapshots: the per-worker split is live execution state
-//! and nondeterministic under work-stealing by design. Its *sum* at
-//! the final publish must still equal `serve_slices_total`.
+//! The single documented exception is `ObsSnapshot::shards`: the
+//! per-shard introspection section is live execution state
+//! (work-stealing splits, queue depths, wall latency) and published
+//! only by the shard runtime. Its slice tallies must still *sum* to
+//! `serve_slices_total` at the final publish.
 
 use std::sync::{Arc, Mutex};
 
@@ -28,7 +31,7 @@ use vsmooth::obs::{ObsConfig, ObsSnapshot, TelemetryHub};
 use vsmooth::pdn::DecapConfig;
 use vsmooth::profile::ProfileConfig;
 use vsmooth::sched::OnlineDroop;
-use vsmooth::serve::{JobSpec, RuntimeMode, Service, ServiceConfig};
+use vsmooth::serve::{AuditConfig, JobSpec, RuntimeMode, Service, ServiceConfig};
 use vsmooth::testkit::gen_job_stream;
 use vsmooth::trace::Tracer;
 
@@ -202,25 +205,58 @@ fn obs_snapshot_stream_matches_coordinator_at_every_shard_count() {
                 b.profile_json.as_deref(),
                 "profile body diverged at {shards}/{i}"
             );
-            let (sa, sb) = (a.service.as_ref().unwrap(), b.service.as_ref().unwrap());
-            // Everything in the status except the live per-worker
-            // split is deterministic.
-            let strip = |s: &vsmooth::obs::ServiceStatus| {
-                let mut s = s.clone();
-                s.worker_slices = Vec::new();
-                s
-            };
-            assert_eq!(strip(sa), strip(sb), "status diverged at {shards}/{i}");
+            // The service status is fully deterministic since the live
+            // per-worker split moved into `ObsSnapshot::shards`.
+            assert_eq!(a.service, b.service, "status diverged at {shards}/{i}");
+            assert_eq!(
+                a.decisions, b.decisions,
+                "decision ring diverged at {shards}/{i}"
+            );
         }
-        // The split's *sum* at the final (done) publish is pinned by
-        // the slice counter.
+        // The live introspection section is the documented exception:
+        // published only by the shard runtime, but its slice tallies
+        // at the final (done) publish are pinned by the slice counter.
         let last = sharded.last().unwrap();
-        let status = last.service.as_ref().unwrap();
-        assert!(status.done);
+        assert!(last.service.as_ref().unwrap().done);
+        let section = last.shards.as_ref().expect("shard runtime publishes");
         assert_eq!(
-            status.worker_slices.iter().sum::<u64>(),
+            section
+                .shards
+                .iter()
+                .map(|s| s.slices_owned + s.slices_stolen)
+                .sum::<u64>(),
             last.metrics.counter("serve_slices_total"),
-            "final worker_slices sum diverged at {shards} shards"
+            "final per-shard slice sum diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn audit_artifact_matches_coordinator_at_every_shard_count() {
+    let jobs = jobs(0xAD17);
+    let run = |runtime, workers| {
+        let mut cfg = config(runtime);
+        cfg.audit = Some(AuditConfig::default());
+        Service::new(cfg)
+            .unwrap()
+            .run(&jobs, &OnlineDroop, workers)
+            .unwrap()
+    };
+    let reference = run(RuntimeMode::Coordinator, 1);
+    let reference_audit = reference.audit.as_ref().expect("audit armed");
+    assert!(reference_audit.total > 0, "expected recorded decisions");
+    let reference_json = reference_audit.to_json();
+    assert!(reference_json.contains("vsmooth-audit-v1"));
+    for shards in SHARD_COUNTS {
+        let sharded = run(RuntimeMode::Sharded, shards);
+        assert_eq!(
+            reference.audit, sharded.audit,
+            "audit ring diverged at {shards} shards"
+        );
+        assert_eq!(
+            reference_json,
+            sharded.audit.as_ref().unwrap().to_json(),
+            "vsmooth-audit-v1 bytes diverged at {shards} shards"
         );
     }
 }

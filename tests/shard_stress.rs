@@ -121,6 +121,56 @@ fn trickle_stream_under_eight_shards_conserves_every_job() {
 }
 
 #[test]
+fn shard_slice_tallies_reconcile_with_the_slice_counter_under_stealing() {
+    use std::sync::{Arc, Mutex};
+    use vsmooth::obs::{ObsConfig, ObsSnapshot, TelemetryHub};
+
+    // Hot burst over 3 chips with 8 shards: 5 shards can only steal,
+    // so the per-shard introspection section must show stolen slices
+    // and still account for every executed slice exactly once.
+    let jobs = hot_burst(5, 24);
+    let last = Arc::new(Mutex::new(None::<ObsSnapshot>));
+    let sink = Arc::clone(&last);
+    let mut cfg = config(3, false, RuntimeMode::Sharded);
+    let mut oc = ObsConfig::new(Arc::new(TelemetryHub::new()));
+    oc.on_publish = Some(Arc::new(move |snap: &ObsSnapshot| {
+        *sink.lock().unwrap() = Some(snap.clone());
+    }));
+    cfg.obs = Some(oc);
+    let report = Service::new(cfg)
+        .unwrap()
+        .run(&jobs, &OnlineDroop, SHARDS)
+        .unwrap();
+    assert_conserved(&jobs, &report);
+    let snap = last.lock().unwrap().take().expect("final publish seen");
+    let section = snap.shards.as_ref().expect("shard runtime publishes");
+    assert_eq!(section.shards.len(), SHARDS);
+    // The live owned/stolen split sums exactly to the deterministic
+    // slice counter — no slice lost, none double-counted.
+    assert_eq!(
+        section
+            .shards
+            .iter()
+            .map(|s| s.slices_owned + s.slices_stolen)
+            .sum::<u64>(),
+        report.snapshot.counter("serve_slices_total"),
+        "per-shard slice tallies must reconcile with serve_slices_total"
+    );
+    // Only 3 chips own tokens, so at least one of the other 5 shards
+    // progressed by stealing.
+    assert!(
+        section.shards.iter().any(|s| s.slices_stolen > 0),
+        "skewed ownership must force steals"
+    );
+    assert_eq!(
+        section.grants,
+        report.snapshot.counter("serve_slices_total")
+    );
+    assert_eq!(section.epochs_decided, report.epochs);
+    assert_eq!(section.cell_queue_hwm.len(), 3);
+}
+
+#[test]
 fn invariant_checked_stress_run_is_clean_and_conserved() {
     let jobs = hot_burst(7, 18);
     // The checker rides along on every cell (and pushes the shards
